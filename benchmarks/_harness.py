@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  Benchmarks print a
+paper-vs-measured table and assert the *shape* of the result (who
+wins, crossovers, scaling behaviour) -- absolute agreement with the
+paper's testbed numbers is not expected and not asserted.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` for the paper's full
+process counts (up to 1,536); the default ``quick`` keeps each bench
+to tens of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA, ClusterSpec
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+
+#: Fig 12/13/14/15 x-axis (processes at 12 per node)
+PROC_COUNTS: List[int] = (
+    [48, 96, 192, 384, 768, 1536] if FULL else [48, 96, 192, 384]
+)
+PROCS_PER_NODE = 12
+
+
+def make_machine(num_nodes: int, seed: int = 0, spec: ClusterSpec = SIERRA):
+    sim = Simulator()
+    machine = Machine(sim, spec.with_nodes(num_nodes), RngRegistry(seed))
+    return sim, machine
+
+
+def nodes_for(nprocs: int, spares: int = 0) -> int:
+    return nprocs // PROCS_PER_NODE + spares

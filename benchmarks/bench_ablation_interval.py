@@ -1,0 +1,54 @@
+"""Ablation -- checkpoint-interval policy (Vaidya auto-tuning).
+
+FMI auto-tunes its interval from the configured MTBF (Section III-B).
+This bench compares the expected runtime factor of the Vaidya-optimal
+interval against fixed intervals that are too eager or too lazy, at
+several MTBFs, using the paper's Himeno checkpoint cost.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.spec import SIERRA
+from repro.models.cr_model import checkpoint_time, restart_time
+from repro.models.vaidya import expected_runtime_factor, optimal_interval
+
+#: Fig 15's checkpoint: 821 MB/node through the XOR engine.
+CKPT_COST = checkpoint_time(821e6, 16, SIERRA.node.memory_bw, SIERRA.network.link_bw)
+RESTART_COST = restart_time(821e6, 16, SIERRA.node.memory_bw, SIERRA.network.link_bw)
+MTBFS = [30.0, 60.0, 300.0, 3600.0]
+FIXED_MULTIPLIERS = [0.1, 0.3, 1.0, 3.0, 10.0]
+
+
+def run_all():
+    out = {}
+    for mtbf in MTBFS:
+        t_opt = optimal_interval(CKPT_COST, mtbf, RESTART_COST)
+        row = {}
+        for mult in FIXED_MULTIPLIERS:
+            f = expected_runtime_factor(t_opt * mult, CKPT_COST, mtbf, RESTART_COST)
+            row[mult] = f
+        out[mtbf] = (t_opt, row)
+    return out
+
+
+def test_ablation_checkpoint_interval(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        f"Ablation: interval policy (ckpt cost {CKPT_COST:.2f}s, Himeno 821MB/node)",
+        ["MTBF (s)", "Vaidya t* (s)", *(f"{m}x t*" for m in FIXED_MULTIPLIERS)],
+    )
+    for mtbf, (t_opt, row) in out.items():
+        table.add(mtbf, round(t_opt, 2),
+                  *(round(row[m], 4) for m in FIXED_MULTIPLIERS))
+        # The optimum really is optimal.
+        assert row[1.0] <= min(row.values()) + 1e-9
+        # Over- and under-checkpointing both cost real efficiency.
+        assert row[0.1] > row[1.0] * 1.05
+        assert row[10.0] > row[1.0] * 1.01
+    table.show()
+    # Higher MTBF -> longer optimal interval and lower overhead.
+    opts = [out[m][0] for m in MTBFS]
+    assert opts == sorted(opts)
+    factors = [out[m][1][1.0] for m in MTBFS]
+    assert factors == sorted(factors, reverse=True)

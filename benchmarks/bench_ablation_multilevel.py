@@ -1,0 +1,97 @@
+"""Ablation -- the level-2 extension (§VIII) in action.
+
+Measures what multilevel C/R buys and costs on a live job: the same
+double-failure (two nodes of one XOR group) either kills the run
+(level 1 only) or costs one deep rollback (level 1+2), while the
+level-2 flush cadence sets the failure-free overhead.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import make_machine
+from repro.analysis.tables import Table
+from repro.fmi import FmiConfig, FmiJob
+from repro.fmi.errors import FmiAbort
+
+NRANKS = 16
+PPN = 2
+LOOPS = 12
+WORK = 0.4
+CKPT_BYTES = 50e6  # per rank, synthetic
+
+
+def app(fmi):
+    from repro.fmi.payload import Payload
+
+    state = Payload.synthetic(CKPT_BYTES, seed=fmi.rank, rep_bytes=64)
+    marker = np.zeros(1)
+    yield from fmi.init()
+    while True:
+        n = yield from fmi.loop([state, marker])
+        if n >= LOOPS:
+            break
+        yield fmi.elapse(WORK)
+        marker[0] = n + 1
+    yield from fmi.finalize()
+    return marker[0]
+
+
+def run(level2_every, kill_pair=False, seed=0):
+    sim, machine = make_machine(NRANKS // PPN + 3, seed=seed)
+    job = FmiJob(
+        machine, app, num_ranks=NRANKS, procs_per_node=PPN,
+        config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=3,
+                         level2_every=level2_every),
+    )
+    done = job.launch()
+    if kill_pair:
+        def killer():
+            yield sim.timeout(3.0)
+            machine.fail_nodes([0, 1], cause="ablation-double")
+
+        sim.spawn(killer())
+    try:
+        results = sim.run(until=done)
+        ok = all(r == LOOPS for r in results)
+        return dict(outcome="completed" if ok else "wrong", wall=sim.now,
+                    l2_flushes=job.level2_flushes,
+                    l2_restores=job.level2_restores)
+    except FmiAbort:
+        return dict(outcome="ABORTED", wall=sim.now, l2_flushes=0,
+                    l2_restores=0)
+
+
+def run_all():
+    return {
+        "L1 only, no failure": run(None),
+        "L1+L2 every ckpt, no failure": run(1),
+        "L1+L2 every 4th, no failure": run(4),
+        "L1 only, double failure": run(None, kill_pair=True),
+        "L1+L2 every 4th, double failure": run(4, kill_pair=True, seed=1),
+    }
+
+
+def test_ablation_multilevel(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: level-2 C/R -- overhead vs protection (16 ranks, 50MB/rank)",
+        ["Configuration", "outcome", "wall (s)", "L2 flushes", "L2 restores"],
+    )
+    for name, r in out.items():
+        table.add(name, r["outcome"], round(r["wall"], 2), r["l2_flushes"],
+                  r["l2_restores"])
+    table.show()
+
+    base = out["L1 only, no failure"]["wall"]
+    every1 = out["L1+L2 every ckpt, no failure"]["wall"]
+    every4 = out["L1+L2 every 4th, no failure"]["wall"]
+    # Flushing costs time; flushing less costs less.
+    assert base < every4 < every1
+    # The protection story: L1-only dies, L1+L2 survives.
+    assert out["L1 only, double failure"]["outcome"] == "ABORTED"
+    survived = out["L1+L2 every 4th, double failure"]
+    assert survived["outcome"] == "completed"
+    assert survived["l2_restores"] >= 1
+    # Surviving a deep rollback still beats... not existing.
+    assert survived["wall"] > every4

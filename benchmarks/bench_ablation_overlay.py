@@ -1,0 +1,83 @@
+"""Ablation -- overlay topology and log-ring base k (Section IV-C).
+
+The paper's argument: a complete graph notifies in O(1) hops but costs
+O(n) connections per process to establish; a plain ring costs O(1) to
+establish but O(n) hops to notify; the log-ring balances both at
+O(log n).  This bench quantifies the trade-off with the calibrated
+connection-setup and per-hop costs, plus the effect of the tunable
+base ``k`` ("we leave the optimization of k for future work").
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.spec import SIERRA
+from repro.net.overlay import (
+    establishment_connections,
+    notification_hops,
+    undirected_neighbors,
+)
+
+N = 1536
+NET = SIERRA.network
+
+
+def evaluate(topology: str, k: int = 2):
+    adj = undirected_neighbors(N, k, topology)
+    conns_per_rank = max(len(peers) for peers in adj.values())
+    establish_time = conns_per_rank * NET.overlay_connect_cost
+    hops = notification_hops(N, failed=0, k=k, topology=topology)
+    notify_time = NET.ibverbs_close_delay + (max(hops.values()) - 1) * NET.notify_hop_delay
+    total_conns = establishment_connections(N, k, topology)
+    return dict(
+        conns_per_rank=conns_per_rank,
+        establish_time=establish_time,
+        max_hops=max(hops.values()),
+        notify_time=notify_time,
+        total_conns=total_conns,
+    )
+
+
+def run_all():
+    out = {
+        "ring": evaluate("ring"),
+        "log-ring k=2": evaluate("logring", 2),
+        "log-ring k=3": evaluate("logring", 3),
+        "log-ring k=4": evaluate("logring", 4),
+        "complete": evaluate("complete"),
+    }
+    return out
+
+
+def test_ablation_overlay_topologies(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        f"Ablation: overlay topology at n={N} (establish vs notify)",
+        ["Topology", "conns/rank", "establish (s)", "max hops", "notify (s)",
+         "total conns"],
+    )
+    for name, r in out.items():
+        table.add(name, r["conns_per_rank"], round(r["establish_time"], 3),
+                  r["max_hops"], round(r["notify_time"], 3), r["total_conns"])
+    table.show()
+
+    ring, logring, complete = out["ring"], out["log-ring k=2"], out["complete"]
+    # Ring: cheapest to establish, worst to notify.
+    assert ring["establish_time"] < logring["establish_time"]
+    assert ring["notify_time"] > 5 * logring["notify_time"] - NET.ibverbs_close_delay * 5
+    assert ring["max_hops"] == N // 2
+    # Complete graph: fastest notification, prohibitive establishment.
+    assert complete["max_hops"] == 1
+    assert complete["establish_time"] > 20 * logring["establish_time"]
+    # Log-ring: both logarithmic.
+    assert logring["conns_per_rank"] <= 2 * math.ceil(math.log2(N))
+    assert logring["max_hops"] <= math.ceil(math.ceil(math.log2(N)) / 2)
+    # Larger base k: (k-1)*log_k(n) fingers, i.e. *more* connections
+    # per rank, buying equal-or-fewer notification hops -- k really is
+    # a establishment-vs-detection dial, with k=2 the cheapest build.
+    k2, k4 = out["log-ring k=2"], out["log-ring k=4"]
+    assert k4["conns_per_rank"] > k2["conns_per_rank"]
+    assert k4["max_hops"] <= k2["max_hops"]
+    assert k2["establish_time"] < k4["establish_time"]

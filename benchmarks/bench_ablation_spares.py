@@ -1,0 +1,105 @@
+"""Ablation -- spare-node policy (Section II-B).
+
+"One solution is to request additional nodes in the allocation ...
+Another solution is to request compute nodes from the resource
+manager.  This method may incur a high overhead if the job has to wait
+for spare nodes to become available."
+
+We measure end-to-end recovery latency of the same failure under three
+policies: pre-reserved spares, on-demand grant from an idle pool, and
+on-demand with a busy pool (the replacement must wait for a release).
+"""
+
+import numpy as np
+import pytest
+
+from _harness import make_machine
+from repro.analysis.tables import Table
+from repro.fmi import FmiConfig, FmiJob
+
+NRANKS = 16
+PPN = 2
+
+
+def looping_app(iters=40, step=0.5):
+    def app(fmi):
+        u = np.zeros(4)
+        yield from fmi.init()
+        while True:
+            n = yield from fmi.loop([u])
+            if n >= iters:
+                break
+            yield fmi.elapse(step)
+        yield from fmi.finalize()
+
+    return app
+
+
+def run_policy(policy: str, crash_at: float = 3.0, seed: int = 1):
+    spares = {"prereserved": 1, "ondemand": 0}[policy]
+    pool_extra = 1  # one extra node exists either way
+    sim, machine = make_machine(NRANKS // PPN + pool_extra, seed=seed)
+    job = FmiJob(
+        machine, looping_app(), num_ranks=NRANKS, procs_per_node=PPN,
+        config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=spares),
+    )
+    done = job.launch()
+
+    def killer():
+        yield sim.timeout(crash_at)
+        job.fmirun.node_slots[0].crash("ablation")
+
+    sim.spawn(killer())
+    sim.run(until=done)
+    return job.recovery_latency(1)
+
+
+def run_contended(crash_at: float = 3.0, seed: int = 2):
+    """On-demand with an initially-empty pool: a 'foreign job' releases
+    a node several seconds after the crash."""
+    sim, machine = make_machine(NRANKS // PPN + 1, seed=seed)
+    foreign = machine.rm.allocate(1)  # occupies the only spare node
+    job = FmiJob(
+        machine, looping_app(), num_ranks=NRANKS, procs_per_node=PPN,
+        config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=0),
+    )
+    done = job.launch()
+    release_delay = 4.0
+
+    def killer():
+        yield sim.timeout(crash_at)
+        job.fmirun.node_slots[0].crash("ablation")
+        yield sim.timeout(release_delay)
+        foreign.release()
+
+    sim.spawn(killer())
+    sim.run(until=done)
+    return job.recovery_latency(1)
+
+
+def run_all():
+    return {
+        "pre-reserved spare": run_policy("prereserved"),
+        "RM grant (idle node)": run_policy("ondemand"),
+        "RM grant (wait 4s for release)": run_contended(),
+    }
+
+
+def test_ablation_spare_policy(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: spare-node policy vs recovery latency (16 ranks, 1 node crash)",
+        ["Policy", "recovery latency (s)"],
+    )
+    for name, latency in out.items():
+        assert latency is not None
+        table.add(name, round(latency, 3))
+    table.show()
+    pre = out["pre-reserved spare"]
+    idle = out["RM grant (idle node)"]
+    wait = out["RM grant (wait 4s for release)"]
+    # Pre-reserved spares skip the grant latency...
+    assert pre < idle
+    assert idle == pytest.approx(pre + 0.5, abs=0.2)  # the grant latency
+    # ...and a busy pool adds the full wait.
+    assert wait > idle + 3.0

@@ -1,0 +1,75 @@
+"""Ablation -- XOR group size: C/R time vs memory vs survivability.
+
+Section V-C: "If an XOR group size is small, memory consumption and
+C/R time become large.  For large XOR group sizes, resiliency
+decreases because the XOR C/R encoding is tolerant to only a single
+rank failure in a XOR group."
+
+We quantify all three axes: the model C/R times, the parity memory
+overhead s/(n-1), and -- via Monte Carlo over the TSUBAME2.0 single-
+node failure rate -- the probability that a second member of some
+group fails during the recovery window of a first failure
+(the unrecoverable-overlap risk).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.spec import SIERRA
+from repro.models.cr_model import checkpoint_time, restart_time
+
+CKPT = 6e9
+NODES = 128
+GROUPS = [2, 4, 8, 16, 32, 64]
+NODE_MTBF = 0.658 * 86400.0  # TSUBAME2.0 compute-node class
+
+
+def overlap_risk(group: int, recovery_window: float, trials: int = 40000,
+                 seed: int = 0) -> float:
+    """P(a second failure lands in the same group within the window)."""
+    rng = np.random.default_rng(seed)
+    rate = NODES / NODE_MTBF  # whole-machine single-node failure rate
+    hits = 0
+    for _ in range(trials):
+        # Next machine failure after the first one:
+        gap = rng.exponential(1.0 / rate)
+        if gap < recovery_window:
+            # It strikes a uniformly random node; same group of g-1
+            # remaining peers out of NODES-1 others:
+            if rng.integers(NODES - 1) < group - 1:
+                hits += 1
+    return hits / trials
+
+
+def run_all():
+    out = {}
+    for g in GROUPS:
+        ck = checkpoint_time(CKPT, g, SIERRA.node.memory_bw, SIERRA.network.link_bw)
+        rs = restart_time(CKPT, g, SIERRA.node.memory_bw, SIERRA.network.link_bw)
+        mem_overhead = 1.0 / (g - 1)
+        risk = overlap_risk(g, recovery_window=rs + 5.0, seed=g)
+        out[g] = (ck, rs, mem_overhead, risk)
+    return out
+
+
+def test_ablation_xor_group_size(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: XOR group size (6 GB/node) -- time vs memory vs risk",
+        ["Group", "ckpt (s)", "restart (s)", "parity overhead",
+         "2nd-failure-in-group risk"],
+    )
+    for g, (ck, rs, mem, risk) in out.items():
+        table.add(g, round(ck, 2), round(rs, 2), f"{mem * 100:.1f}%",
+                  f"{risk * 100:.4f}%")
+    table.show()
+    # Memory overhead and checkpoint time shrink with group size...
+    assert out[2][2] > out[16][2] > out[64][2]
+    assert out[2][0] > out[16][0]
+    # ...while the unrecoverable-overlap risk grows.
+    assert out[64][3] > out[4][3]
+    # The paper's choice, 16: parity under 7 %, C/R within 10 % of the
+    # asymptote -- the knee of the curve.
+    assert out[16][2] < 0.07
+    assert out[16][0] - out[64][0] < 0.10 * out[16][0]

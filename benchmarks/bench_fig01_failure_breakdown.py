@@ -1,0 +1,54 @@
+"""Fig 1 -- TSUBAME2.0 failure-rate breakdown by component.
+
+Same multi-year trace as Table I, but reported per component on the
+figure's 1e-6 failures/second axis, with the component's failure level
+(1..5 by affected-node count).
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.failures import FailureInjector, TSUBAME2_FAILURE_TYPES
+from repro.cluster.spec import SECONDS_PER_YEAR
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+YEARS = 25
+
+
+def run_trace(seed=11):
+    sim = Simulator()
+    inj = FailureInjector(
+        sim, RngRegistry(seed).stream("f1"), TSUBAME2_FAILURE_TYPES, num_nodes=1408
+    )
+    inj.start()
+    duration = YEARS * SECONDS_PER_YEAR
+    sim.run(until=duration)
+    inj.stop()
+    return {
+        t.name: (t, inj.observed_rate(t.name, duration))
+        for t in TSUBAME2_FAILURE_TYPES
+    }
+
+
+def test_fig01_failure_breakdown(benchmark):
+    rates = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    table = Table(
+        f"Fig 1: failure breakdown, x1e-6 failures/second ({YEARS}-year trace)",
+        ["Component", "Level", "configured", "measured", "bar"],
+    )
+    ordered = sorted(rates.values(), key=lambda tv: -tv[0].rate_per_second)
+    for ftype, measured in ordered:
+        conf_us = ftype.rate_per_second * 1e6
+        meas_us = measured * 1e6
+        bar = "#" * max(1, int(round(meas_us)))
+        table.add(ftype.name, ftype.level, round(conf_us, 3), round(meas_us, 3), bar)
+        tol = 0.2 if conf_us > 1 else 0.6  # rarer components are noisier
+        assert meas_us == pytest.approx(conf_us, rel=tol), ftype.name
+    table.show()
+    # The figure's dominant shape: CPU failures lead, single-node
+    # (level-1) components dominate the total rate.
+    assert ordered[0][0].name == "CPU"
+    level1 = sum(m for t, m in rates.values() if t.level == 1)
+    total = sum(m for _t, m in rates.values())
+    assert level1 / total > 0.85  # "~92% of failures affect a single node"

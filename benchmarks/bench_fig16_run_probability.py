@@ -1,0 +1,70 @@
+"""Fig 16 -- probability of running continuously for 24 hours.
+
+Coastal failure rates (L1 MTBF 130 h recoverable by XOR, L2 MTBF 650 h
+unrecoverable) scaled 1..50x.  With FMI only level-2 failures end a
+run; without FMI every failure does.  The analytic model is
+cross-checked against a Monte-Carlo draw from the same Poisson
+processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.spec import COASTAL_L1_RATE, COASTAL_L2_RATE
+from repro.models.availability import DAY_SECONDS, run_probability_curve
+
+SCALES = [1, 2, 5, 6, 10, 20, 30, 40, 50]
+
+#: Claims quoted in Section VI-C.
+PAPER_POINTS = {
+    # scale: (with_fmi, without_fmi)
+    6: (0.80, None),   # "80% of executions can run for 24 hours at 6x"
+    10: (0.70, 0.10),  # "70% ... while only 10% of non-FMI executions"
+}
+
+
+def monte_carlo(rate: float, trials: int = 20000, seed: int = 3) -> float:
+    """Fraction of runs whose first failure lands after 24 h."""
+    if rate == 0:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    first = rng.exponential(1.0 / rate, size=trials)
+    return float(np.mean(first > DAY_SECONDS))
+
+
+def run_model():
+    rows = run_probability_curve(SCALES)
+    mc = {
+        f: (
+            monte_carlo(f * COASTAL_L2_RATE),
+            monte_carlo(f * (COASTAL_L1_RATE + COASTAL_L2_RATE)),
+        )
+        for f in SCALES
+    }
+    return rows, mc
+
+
+def test_fig16_run_probability(benchmark):
+    rows, mc = benchmark.pedantic(run_model, rounds=1, iterations=1)
+    table = Table(
+        "Fig 16: probability to run continuously for 24 hours (Coastal rates)",
+        ["Scale", "with FMI (model)", "with FMI (MC)", "w/o FMI (model)",
+         "w/o FMI (MC)"],
+    )
+    for scale, p_fmi, p_plain in rows:
+        mc_fmi, mc_plain = mc[scale]
+        table.add(scale, round(p_fmi, 3), round(mc_fmi, 3),
+                  round(p_plain, 3), round(mc_plain, 3))
+        # Model and Monte-Carlo agree.
+        assert mc_fmi == pytest.approx(p_fmi, abs=0.02)
+        assert mc_plain == pytest.approx(p_plain, abs=0.02)
+        # FMI always helps.
+        assert p_fmi > p_plain or scale == 0
+        paper = PAPER_POINTS.get(scale)
+        if paper:
+            want_fmi, want_plain = paper
+            assert p_fmi == pytest.approx(want_fmi, abs=0.03)
+            if want_plain is not None:
+                assert p_plain == pytest.approx(want_plain, abs=0.03)
+    table.show()

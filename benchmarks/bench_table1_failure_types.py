@@ -1,0 +1,53 @@
+"""Table I -- TSUBAME2.0 failure types: failures/year and MTBF per class.
+
+Regenerates the table by running a multi-year Poisson failure trace
+with the per-component rates of Fig 1 and recomputing the per-class
+statistics from the *observed* arrivals.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cluster.failures import FailureInjector, TSUBAME2_FAILURE_TYPES
+from repro.cluster.spec import SECONDS_PER_YEAR
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+PAPER = {
+    "PFS, Core switch": (1408, 5.61, 65.10),
+    "Rack": (32, 4.20, 86.90),
+    "Edge switch": (16, 21.02, 17.37),
+    "PSU": (4, 12.61, 28.94),
+    "Compute node": (1, 554.10, 0.658),
+}
+
+YEARS = 25
+
+
+def run_trace(seed=7):
+    sim = Simulator()
+    inj = FailureInjector(
+        sim, RngRegistry(seed).stream("t1"), TSUBAME2_FAILURE_TYPES, num_nodes=1408
+    )
+    inj.start()
+    duration = YEARS * SECONDS_PER_YEAR
+    sim.run(until=duration)
+    inj.stop()
+    return inj.class_stats(duration)
+
+
+def test_table1_failure_types(benchmark):
+    stats = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    table = Table(
+        f"Table I: TSUBAME2.0 failure types ({YEARS}-year simulated trace)",
+        ["Failure type", "Affected nodes", "fails/yr (paper)", "fails/yr (measured)",
+         "MTBF days (paper)", "MTBF days (measured)"],
+    )
+    for cls_name, affected, per_year, mtbf_days in stats:
+        p_aff, p_fy, p_mtbf = PAPER[cls_name]
+        table.add(cls_name, affected, p_fy, per_year, p_mtbf, mtbf_days)
+        assert affected == p_aff
+        # Poisson noise over 25 years; rarest class has ~100 samples.
+        assert per_year == pytest.approx(p_fy, rel=0.25), cls_name
+        assert mtbf_days == pytest.approx(p_mtbf, rel=0.25), cls_name
+    table.show()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Resilience capacity planning with the paper's analytic models.
+
+Given a machine size, per-node checkpoint footprint, and failure-rate
+assumptions, this walks the three questions an operator of an
+FMI-style system would ask:
+
+1. How often should I checkpoint?  (Vaidya interval from MTBF and the
+   Section V-B XOR cost model.)
+2. What are my odds of finishing a 24-hour run?  (Fig 16 model, with
+   and without a survivable runtime.)
+3. Is my PFS fast enough for level-2 checkpoints as the machine grows?
+   (Fig 17 multilevel-efficiency model.)
+
+Run:  python examples/capacity_planner.py [scale_factor]
+"""
+
+import sys
+
+from repro.analysis.tables import Table
+from repro.cluster.spec import (
+    COASTAL,
+    COASTAL_L1_RATE,
+    COASTAL_L2_RATE,
+    SIERRA,
+)
+from repro.models.availability import run_probability_curve
+from repro.models.cr_model import checkpoint_time, restart_time
+from repro.models.efficiency import multilevel_efficiency
+from repro.models.vaidya import expected_runtime_factor, optimal_interval
+
+CKPT_PER_NODE = 1e9  # 1 GB/node
+GROUP = 16
+
+
+def main(scale: float = 10.0):
+    mem, net = SIERRA.node.memory_bw, SIERRA.network.link_bw
+    c1 = checkpoint_time(CKPT_PER_NODE, GROUP, mem, net)
+    r1 = restart_time(CKPT_PER_NODE, GROUP, mem, net)
+    l1 = scale * COASTAL_L1_RATE
+    l2 = scale * COASTAL_L2_RATE
+    mtbf1 = 1.0 / l1
+
+    print(f"machine: {COASTAL.num_nodes} nodes, {CKPT_PER_NODE/1e9:.0f} GB/node "
+          f"checkpoints, XOR group {GROUP}, failure rates x{scale:g}")
+    print()
+
+    # 1 -- checkpoint cadence
+    t_opt = optimal_interval(c1, mtbf1, r1)
+    overhead = expected_runtime_factor(t_opt, c1, mtbf1, r1) - 1.0
+    print("1. checkpoint cadence")
+    print(f"   XOR checkpoint cost: {c1:.2f}s, restart: {r1:.2f}s")
+    print(f"   level-1 MTBF: {mtbf1/3600:.1f}h -> Vaidya interval {t_opt:.0f}s "
+          f"({t_opt/60:.1f} min)")
+    print(f"   expected C/R overhead at that cadence: {overhead*100:.2f}%")
+    print()
+
+    # 2 -- survival odds
+    print("2. probability of a continuous 24-hour run")
+    table = Table("P(24h) vs failure scale", ["scale", "with FMI", "without FMI"])
+    for f, w, wo in run_probability_curve([1, scale / 2, scale, 2 * scale]):
+        table.add(f"{f:g}", round(w, 3), round(wo, 3))
+    print(table.render())
+    print()
+
+    # 3 -- level-2 headroom
+    print("3. multilevel C/R efficiency vs PFS bandwidth")
+    table = Table(
+        f"efficiency at scale x{scale:g}", ["PFS GB/s", "1 GB/node", "10 GB/node"]
+    )
+    for pfs_gbps in (25, 50, 100, 200, 400):
+        row = []
+        for size in (1e9, 10e9):
+            c2 = COASTAL.num_nodes * size * scale / (pfs_gbps * 1e9)
+            eff = multilevel_efficiency(
+                checkpoint_time(size, GROUP, mem, net),
+                restart_time(size, GROUP, mem, net),
+                l1, c2, c2, l2,
+            )
+            row.append(round(eff, 3))
+        table.add(pfs_gbps, *row)
+    print(table.render())
+    print()
+    print("reading: if the 10 GB/node column sags, the PFS -- not the")
+    print("compute fabric -- is the resilience bottleneck at this scale")
+    print("(the paper's closing point in Section VI-C).")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 10.0)

@@ -1,0 +1,6 @@
+"""Shim so legacy editable installs work offline (no `wheel` package
+available, so PEP-517 editable wheels cannot be built)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""repro.analysis -- table rendering and experiment bookkeeping."""
+
+from repro.analysis.tables import Table, fmt_bytes, fmt_seconds
+
+__all__ = ["Table", "fmt_bytes", "fmt_seconds"]

@@ -1,0 +1,95 @@
+"""Post-run reports: turn a job's runtime records into a readable
+summary and machine-checkable statistics.
+
+Consumes the bookkeeping every :class:`~repro.fmi.job.FmiJob` keeps
+(transition log, recovery causes/completions, checkpoint counters) and
+produces:
+
+* :func:`job_report` -- a structured dict of everything an experiment
+  wants to log;
+* :func:`render_report` -- a human-readable text block (used by the
+  examples);
+* :func:`phase_durations` -- per-rank time spent in H1/H2/H3, from the
+  transition log (how much of the run was recovery overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import Table, fmt_seconds
+from repro.fmi.state import ProcState
+
+__all__ = ["job_report", "render_report", "phase_durations"]
+
+
+def phase_durations(job, end_time: Optional[float] = None) -> Dict[int, Dict[str, float]]:
+    """Seconds each rank spent in each live state.
+
+    A rank's final interval (last transition to job completion) is
+    attributed to that last state.
+    """
+    end = end_time if end_time is not None else job.sim.now
+    out: Dict[int, Dict[str, float]] = {}
+    for rank in range(job.num_ranks):
+        entries = job.transitions.of_rank(rank)
+        acc = {state.value: 0.0 for state in ProcState}
+        for cur, nxt in zip(entries, entries[1:]):
+            acc[cur.state.value] += nxt.time - cur.time
+        if entries:
+            acc[entries[-1].state.value] += max(0.0, end - entries[-1].time)
+        out[rank] = acc
+    return out
+
+
+def job_report(job) -> dict:
+    """Everything an experiment wants to record about one FMI run."""
+    end = job.sim.now
+    phases = phase_durations(job, end)
+    h3_total = sum(p.get("H3", 0.0) for p in phases.values())
+    live_total = sum(
+        p.get("H1", 0.0) + p.get("H2", 0.0) + p.get("H3", 0.0)
+        for p in phases.values()
+    )
+    latencies = [
+        job.recovery_latency(e)
+        for e in sorted(job.recovered_at)
+        if e > 0 and job.recovery_latency(e) is not None
+    ]
+    return {
+        "finished": job.finished,
+        "wall_time": end - (job.launched_at or 0.0),
+        "ranks": job.num_ranks,
+        "recoveries": job.recovery_count,
+        "recovery_latencies": latencies,
+        "checkpoint_rounds": (
+            job.checkpoints_done // job.num_ranks if job.num_ranks else 0
+        ),
+        "restores": job.restores_done,
+        "level2_flushes": job.level2_flushes,
+        "level2_restores": job.level2_restores,
+        "h3_fraction": (h3_total / live_total) if live_total else 0.0,
+        "failure_causes": [cause for _t, cause in job.recovery_causes],
+    }
+
+
+def render_report(job, title: str = "FMI job report") -> str:
+    """Human-readable summary block."""
+    r = job_report(job)
+    table = Table(title, ["metric", "value"])
+    table.add("ranks", r["ranks"])
+    table.add("wall time", fmt_seconds(r["wall_time"]))
+    table.add("finished", str(r["finished"]))
+    table.add("checkpoint rounds", r["checkpoint_rounds"])
+    table.add("recoveries", r["recoveries"])
+    if r["recovery_latencies"]:
+        lats = r["recovery_latencies"]
+        table.add("recovery latency (min/max)",
+                  f"{fmt_seconds(min(lats))} / {fmt_seconds(max(lats))}")
+    table.add("level-2 flushes / restores",
+              f"{r['level2_flushes']} / {r['level2_restores']}")
+    table.add("time in H3 (useful states)", f"{r['h3_fraction'] * 100:.1f}%")
+    lines = [table.render()]
+    for i, cause in enumerate(r["failure_causes"], 1):
+        lines.append(f"  failure {i}: {cause}")
+    return "\n".join(lines)

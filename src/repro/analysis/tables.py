@@ -1,0 +1,74 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints a paper-vs-measured table through this module so
+the regenerated numbers are legible in CI logs and `EXPERIMENTS.md` can
+quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Table", "fmt_seconds", "fmt_bytes"]
+
+
+def fmt_seconds(value: float) -> str:
+    """Human scale: us / ms / s."""
+    if value < 1e-3:
+        return f"{value * 1e6:.3f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value:.3f} s"
+
+
+def fmt_bytes(value: float) -> str:
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value:.0f} B"
+
+
+class Table:
+    """A titled fixed-width table."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+                return f"{cell:.3e}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        head = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        body = [
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        lines = [f"== {self.title} ==", head, sep, *body]
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,19 @@
+"""repro.apps -- applications and microbenchmarks used in the evaluation."""
+
+from repro.apps.cg import cg_fmi_app, cg_mpi_app, make_spd_problem
+from repro.apps.himeno import HimenoParams, himeno_fmi_app, himeno_mpi_app
+from repro.apps.pingpong import pingpong_app
+from repro.apps.synthetic import bsp_app, comm_storm_app, imbalanced_app
+
+__all__ = [
+    "HimenoParams",
+    "bsp_app",
+    "cg_fmi_app",
+    "cg_mpi_app",
+    "comm_storm_app",
+    "himeno_fmi_app",
+    "himeno_mpi_app",
+    "imbalanced_app",
+    "make_spd_problem",
+    "pingpong_app",
+]

@@ -1,0 +1,49 @@
+"""Ping-pong microbenchmark (Table III).
+
+Two ranks bounce a message back and forth; rank 0 reports the one-way
+latency and the bandwidth.  The same application generator runs on both
+the MPI and the FMI API -- "we compiled the same ping-pong source for
+both MPI and FMI".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pingpong_app"]
+
+
+def pingpong_app(nbytes: float, iterations: int = 100, warmup: int = 10):
+    """Build a 2-rank app; rank 0 returns ``(latency_s, bandwidth_Bps)``.
+
+    ``latency`` is the half round-trip averaged over ``iterations``
+    (after ``warmup`` untimed exchanges); ``bandwidth`` is
+    ``nbytes / latency``.
+    """
+    if nbytes < 1:
+        raise ValueError("nbytes must be >= 1")
+
+    def app(api):
+        if api.size < 2:
+            raise ValueError("ping-pong needs at least 2 ranks")
+        peer = 1 - api.rank
+        if api.rank > 1:
+            return None  # spectators
+        payload = np.zeros(max(1, int(min(nbytes, 4096))), dtype=np.uint8)
+        if api.rank == 0:
+            for _ in range(warmup):
+                yield api.send(peer, payload, nbytes=nbytes)
+                yield from api.recv(peer)
+            t0 = api.now
+            for _ in range(iterations):
+                yield api.send(peer, payload, nbytes=nbytes)
+                yield from api.recv(peer)
+            elapsed = api.now - t0
+            latency = elapsed / (2 * iterations)
+            return (latency, nbytes / latency)
+        for _ in range(warmup + iterations):
+            yield from api.recv(peer)
+            yield api.send(peer, payload, nbytes=nbytes)
+        return None
+
+    return app

@@ -1,0 +1,93 @@
+"""The interconnect fabric.
+
+A message from node A to node B is modelled cut-through style:
+
+    sender sw overhead  ->  { A.nic_tx  ||  B.nic_rx }  ->  wire
+    latency  ->  receiver sw overhead
+
+The bytes occupy the sender's transmit pipe and the receiver's receive
+pipe *concurrently* (completion when both fair-share transfers finish),
+so a node receiving N simultaneous streams bottlenecks on its single
+NIC -- the effect that shapes the XOR-gather restart cost (Fig 11) and
+the per-node C/R throughput (Fig 12).
+
+Intra-node messages bypass the NIC and move through the memory bus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.node import Node
+from repro.cluster.spec import NetworkSpec
+from repro.simt.kernel import Event, Simulator
+from repro.simt.primitives import AllOf
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects all nodes of a machine; stateless wire + per-node NICs."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec):
+        self.sim = sim
+        self.spec = spec
+        #: total messages moved (observability / tests)
+        self.messages_sent = 0
+        #: total payload bytes moved
+        self.bytes_sent = 0.0
+
+    def transfer_time(self, nbytes: float, sw_overhead: float) -> float:
+        """Uncontended end-to-end time for one message (planning)."""
+        return (
+            2 * sw_overhead + self.spec.wire_latency + nbytes / self.spec.link_bw
+        )
+
+    def send(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: float,
+        sw_overhead: Optional[float] = None,
+    ) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that fires (with ``None``) when the last byte
+        has landed at ``dst``.  If ``dst`` crashes mid-flight the event
+        still fires -- delivery filtering is the transport layer's job
+        (a dead node's matching engine no longer exists, so the bytes
+        simply vanish, as on real hardware).
+        """
+        if not src.alive:
+            evt = Event(self.sim)
+            evt.fail(ConnectionError(f"source node {src.id} is down"))
+            return evt
+        overhead = self.spec.sw_overhead_fmi if sw_overhead is None else sw_overhead
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+        if src is dst:
+            # Shared-memory path: one pass through the memory bus, no NIC.
+            return src.mem_bw.transfer(nbytes, overhead=2 * overhead)
+
+        arrived = Event(self.sim)
+
+        def start(_evt: Event) -> None:
+            tx = src.nic_tx.transfer(nbytes)
+            rx = dst.nic_rx.transfer(nbytes)
+            both = AllOf(self.sim, [tx, rx])
+
+            def on_wire(_e: Event) -> None:
+                tail = self.sim.timeout(self.spec.wire_latency + overhead)
+                tail.callbacks.append(
+                    lambda _t: arrived.succeed(None)
+                    if not arrived.triggered
+                    else None
+                )
+
+            both.callbacks.append(on_wire)
+
+        # Sender-side software overhead before bytes hit the NIC.
+        head = self.sim.timeout(overhead)
+        head.callbacks.append(start)
+        return arrived

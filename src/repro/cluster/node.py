@@ -1,0 +1,103 @@
+"""A simulated compute node.
+
+A node bundles the shared hardware its processes contend for:
+
+* ``mem_bw``  -- the memory bus (memcpy checkpoints, XOR encoding);
+* ``nic_tx`` / ``nic_rx`` -- the full-duplex InfiniBand link;
+* ``tmpfs``   -- node-local RAM filesystem (dies with the node);
+* a registry of simulated processes, all killed on :meth:`crash`.
+
+Crash listeners (the endpoint manager, ``fmirun``, the resource
+manager) subscribe via :meth:`on_crash`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.cluster.filesystem import Tmpfs
+from repro.cluster.spec import ClusterSpec
+from repro.simt.kernel import Simulator
+from repro.simt.process import Process
+from repro.simt.resources import BandwidthResource
+
+__all__ = ["Node", "NodeDownError"]
+
+
+class NodeDownError(RuntimeError):
+    """Operation attempted on a crashed node."""
+
+
+class Node:
+    """One compute node of the simulated machine."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: ClusterSpec):
+        self.sim = sim
+        self.id = node_id
+        self.spec = spec
+        self.alive = True
+        ns = spec.node
+        self.mem_bw = BandwidthResource(sim, ns.memory_bw, name=f"mem[{node_id}]")
+        net = spec.network
+        self.nic_tx = BandwidthResource(sim, net.link_bw, name=f"tx[{node_id}]")
+        self.nic_rx = BandwidthResource(sim, net.link_bw, name=f"rx[{node_id}]")
+        fs = spec.filesystem
+        self.tmpfs = Tmpfs(sim, fs.tmpfs_bw, fs.tmpfs_latency, node_id)
+        self._procs: List[Process] = []
+        self._crash_listeners: List[Callable[["Node", Any], None]] = []
+
+    # -- process registry ------------------------------------------------------
+    def register(self, proc: Process) -> Process:
+        """Track ``proc`` so it dies if this node crashes."""
+        if not self.alive:
+            raise NodeDownError(f"node {self.id} is down")
+        self._procs.append(proc)
+        return proc
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Spawn a simulated process bound to this node."""
+        return self.register(self.sim.spawn(generator, name=name))
+
+    @property
+    def processes(self) -> List[Process]:
+        """Live processes currently bound to this node."""
+        self._procs = [p for p in self._procs if p.alive]
+        return list(self._procs)
+
+    # -- memory-bus helpers -----------------------------------------------------
+    def memcpy(self, nbytes: float):
+        """Copy ``nbytes`` through the memory bus (fair-shared)."""
+        return self.mem_bw.transfer(nbytes)
+
+    def compute(self, flops: float, cores: int = 1):
+        """Event firing after ``flops`` of work on ``cores`` cores.
+
+        Compute is modelled per-process (each rank owns its core), so
+        this is a plain timeout rather than a shared resource.
+        """
+        cores = max(1, min(cores, self.spec.node.cores))
+        return self.sim.timeout(flops / (self.spec.node.core_flops * cores))
+
+    # -- failure ------------------------------------------------------------
+    def on_crash(self, callback: Callable[["Node", Any], None]) -> None:
+        self._crash_listeners.append(callback)
+
+    def crash(self, cause: Any = "failure") -> None:
+        """Unrecoverable node failure.
+
+        Kills every registered process (they are never resumed),
+        destroys tmpfs contents, and informs listeners.  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            proc.kill(cause=f"node {self.id} crash: {cause}")
+        self.tmpfs.destroy()
+        for listener in list(self._crash_listeners):
+            listener(self, cause)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.alive else "DOWN"
+        return f"<Node {self.id} {state}>"

@@ -1,0 +1,148 @@
+"""A SLURM-like resource manager.
+
+Supports the two spare-node strategies discussed in Section II-B of
+the paper:
+
+* **Pre-reserved spares** -- a job asks for, e.g., 64 compute nodes
+  plus 6 spares; replacements come from the job's own spare list with
+  no resource-manager round trip (``fmirun`` reads them from the
+  machinefile).
+* **On-demand allocation** -- when the spare list is exhausted,
+  ``fmirun`` asks the resource manager; the grant costs
+  ``spare_grant_latency`` if an idle node exists, otherwise the request
+  queues until one is released.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.cluster.node import Node
+from repro.simt.kernel import Event, Simulator
+
+__all__ = ["ResourceManager", "Allocation", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """The request can never be satisfied (asked for too many nodes)."""
+
+
+class Allocation:
+    """A set of nodes granted to one job, with an optional spare list."""
+
+    def __init__(
+        self, rm: "ResourceManager", job_id: int, nodes: List[Node], spares: List[Node]
+    ):
+        self.rm = rm
+        self.job_id = job_id
+        self.nodes = nodes
+        self.spares = spares
+        self.released = False
+
+    @property
+    def all_nodes(self) -> List[Node]:
+        return self.nodes + self.spares
+
+    def take_spare(self) -> Optional[Node]:
+        """Pop the next *live* pre-reserved spare, or None."""
+        while self.spares:
+            node = self.spares.pop(0)
+            if node.alive:
+                return node
+        return None
+
+    def release(self) -> None:
+        """Return every live node to the idle pool."""
+        if self.released:
+            return
+        self.released = True
+        self.rm._release(self)
+
+
+class ResourceManager:
+    """Tracks idle nodes; grants allocations and single replacements."""
+
+    def __init__(self, sim: Simulator, nodes: List[Node], grant_latency: float = 0.5):
+        self.sim = sim
+        self.grant_latency = grant_latency
+        self._idle: List[Node] = list(nodes)
+        self._pending: Deque[Event] = deque()
+        self._allocs: Dict[int, Allocation] = {}
+        self._next_job = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+    @property
+    def idle_count(self) -> int:
+        self._gc_idle()
+        return len(self._idle)
+
+    def _gc_idle(self) -> None:
+        self._idle = [n for n in self._idle if n.alive]
+
+    def node_failed(self, node: Node) -> None:
+        """Called by the machine when a node dies; drop it from the pool."""
+        self._gc_idle()
+
+    # -- allocation --------------------------------------------------------------
+    def allocate(self, num_nodes: int, num_spares: int = 0) -> Allocation:
+        """Grant ``num_nodes`` + ``num_spares`` idle nodes immediately.
+
+        Raises :class:`AllocationError` if not enough idle nodes exist
+        (job submission queueing is out of scope; the paper's jobs have
+        dedicated allocations).
+        """
+        self._gc_idle()
+        want = num_nodes + num_spares
+        if want > len(self._idle):
+            raise AllocationError(
+                f"requested {want} nodes, only {len(self._idle)} idle"
+            )
+        granted, self._idle = self._idle[:want], self._idle[want:]
+        self._next_job += 1
+        alloc = Allocation(self, self._next_job, granted[:num_nodes], granted[num_nodes:])
+        self._allocs[alloc.job_id] = alloc
+        return alloc
+
+    def request_replacement(self) -> Event:
+        """Ask for one idle node (on-demand spare path).
+
+        The returned event fires with a :class:`Node` after
+        ``grant_latency`` if one is idle, else whenever a node is
+        released back to the pool.
+        """
+        evt = Event(self.sim)
+        self._gc_idle()
+        if self._idle:
+            node = self._idle.pop(0)
+            grant = self.sim.timeout(self.grant_latency)
+            grant.callbacks.append(lambda _e: evt.succeed(node))
+        else:
+            self._pending.append(evt)
+        return evt
+
+    def return_node(self, node: Node) -> None:
+        """Hand one healthy node back to the pool (e.g. a drained node
+        whose job migrated off it).  Pending replacement requests are
+        served first."""
+        self._reclaim(node)
+
+    def _release(self, alloc: Allocation) -> None:
+        self._allocs.pop(alloc.job_id, None)
+        for node in alloc.all_nodes:
+            self._reclaim(node)
+
+    def _reclaim(self, node: Node) -> None:
+        if not node.alive:
+            return
+        while self._pending:
+            waiter = self._pending.popleft()
+            if waiter.callbacks is not None and not waiter.triggered:
+                grant = self.sim.timeout(self.grant_latency)
+                grant.callbacks.append(
+                    lambda _e, n=node, w=waiter: w.succeed(n)
+                    if not w.triggered
+                    else None
+                )
+                return
+        self._idle.append(node)

@@ -1,0 +1,225 @@
+"""FmiContext -- the per-rank handle FMI applications program against.
+
+MPI-like semantics come from :class:`~repro.mpi.api.ParallelApi`; the
+FMI specifics are:
+
+* **virtual ranks** -- routing goes through the job's *current*
+  endpoint table, so a rank keeps its identity across process
+  replacement (Figure 2);
+* **epoch stamping** -- every envelope carries the current recovery
+  epoch, and the transport drops stale pre-failure messages
+  (Section IV-D);
+* **failure errors** -- once this process has been notified of a
+  failure, every communication call raises
+  :class:`~repro.fmi.errors.FailureNotified` until recovery completes
+  (the runtime driver catches it; applications do not);
+* **FMI_Loop** -- :meth:`loop` synchronises, checkpoints, and
+  rolls back / restores, per Section III-B.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.fmi.checkpoint import XorCheckpointEngine
+from repro.fmi.errors import FailureNotified
+from repro.fmi.payload import Payload
+from repro.mpi.api import ParallelApi
+from repro.mpi.communicator import Communicator
+
+__all__ = ["FmiContext"]
+
+#: reserved communicator-id space for XOR-group communicators
+GROUP_COMM_BASE = 1 << 30
+
+CkptBuffer = Union[np.ndarray, Payload]
+
+
+class FmiContext(ParallelApi):
+    """What an FMI application generator receives."""
+
+    def __init__(self, fproc):
+        job = fproc.job
+        super().__init__(job.transport, fproc.ctx, fproc.rank, job.num_ranks)
+        self.fproc = fproc
+        self.fmi_job = job
+        layout = job.xor_layout
+        group_idx = layout.group_of(fproc.rank)
+        self.group_comm = Communicator(
+            self, GROUP_COMM_BASE + group_idx, layout.members(group_idx)
+        )
+        self.engine = XorCheckpointEngine(
+            self.group_comm, fproc.storage, self.memcpy
+        )
+        self.l2store = None
+        if job.config.level2_every is not None:
+            from repro.fmi.multilevel import Level2Store
+
+            self.l2store = Level2Store(job.machine.pfs, job.name, fproc.rank)
+
+    # -- FMI-specific plumbing ------------------------------------------------
+    def _check_ok(self) -> None:
+        if self.fproc.notified_pending:
+            raise FailureNotified(
+                self.fproc.notified_gen, "communication after failure notice"
+            )
+
+    def _epoch(self) -> int:
+        return self.ctx.epoch
+
+    def _route(self, world_rank: int) -> Tuple[int, int]:
+        return self.fmi_job.addr_table[world_rank]
+
+    # -- the programming model (Figure 3) ------------------------------------------
+    def init(self):
+        """``FMI_Init``.  The heavy lifting (PMGR bootstrap, log-ring
+        build) happened in the runtime's H1/H2 states before the
+        application generator started, so this is a cheap sync point
+        kept for API fidelity."""
+        self._check_ok()
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def finalize(self):
+        """``FMI_Finalize``: global barrier, then teardown."""
+        yield from self.barrier()
+
+    def loop(self, ckpts: Sequence[CkptBuffer], nbytes: Optional[Sequence[float]] = None):
+        """``FMI_Loop(ckpts, sizes, len)``.
+
+        Returns the loop id (0, 1, 2, ... in failure-free execution).
+        On the first call after a recovery it restores the last good
+        checkpoint *into* ``ckpts`` and returns the loop id at which
+        that checkpoint was written; the application then redoes the
+        lost iterations.  Checkpoints are written on the first call and
+        thereafter per the interval policy (fixed interval or
+        Vaidya-tuned from the configured MTBF).
+        """
+        self._check_ok()
+        rs = self.fproc.rank_state
+        if rs.restore_pending:
+            rs.restore_pending = False
+            restored = yield from self.engine.restore(
+                world_agree=self._agree_min,
+                allow_beyond_xor=self.l2store is not None,
+            )
+            if restored == "beyond-xor":
+                restored = yield from self._restore_from_level2()
+            if restored is not None:
+                meta, payloads = restored
+                yield from self._copy_into(ckpts, payloads)
+                rs.loop_id = meta.dataset_id + 1
+                rs.last_ckpt_loop = meta.dataset_id
+                rs.policy.reset_after_recovery(self.now)
+                self.fmi_job.restores_done += 1
+                return meta.dataset_id
+            # Cold start: the failure predates the first checkpoint.
+            rs.loop_id = 0
+            rs.policy = type(rs.policy)(self.fmi_job.config)
+
+        want = rs.policy.should_checkpoint(self.now)
+        if self.fmi_job.config.checkpoint_enabled:
+            # "FMI_Loop ... synchronizes the application": the
+            # checkpoint decision is global, so a time-based (Vaidya)
+            # policy can never split the ranks.
+            from repro.mpi.ops import MAX
+
+            want = bool((yield from self.allreduce(1 if want else 0, MAX)))
+        if want:
+            t0 = self.now
+            payloads = [self._as_payload(c, i, nbytes) for i, c in enumerate(ckpts)]
+            meta = yield from self.engine.checkpoint(payloads, dataset_id=rs.loop_id)
+            rs.policy.record_checkpoint(self.now, self.now - t0)
+            rs.last_ckpt_loop = rs.loop_id
+            self.fmi_job.checkpoints_done += 1
+            if (
+                self.l2store is not None
+                and rs.loop_id >= self.fmi_job.next_l2_at
+            ):
+                yield from self._flush_level2(meta)
+
+        current = rs.loop_id
+        rs.loop_id += 1
+        return current
+
+    # -- level 2 (multilevel C/R, §VIII) ---------------------------------------
+    def _flush_level2(self, meta):
+        """Copy the just-written level-1 dataset to the PFS and stamp
+        it complete once every rank has flushed."""
+        job = self.fmi_job
+        ds = meta.dataset_id
+        blob = yield from self.engine.load_blob(ds)
+        yield from self.l2store.flush(ds, blob, meta.sections)
+        yield from self.barrier()  # everyone's blob is on the PFS
+        if self.rank == 0:
+            yield from self.l2store.mark_complete(ds, self.size)
+        yield from self.barrier()  # marker visible before proceeding
+        keep = self.l2store.complete_datasets()[-2:]
+        self.l2store.prune(keep)
+        job.next_l2_at = ds + job.config.level2_every
+        if self.rank == 0:
+            job.level2_flushes += 1
+
+    def _restore_from_level2(self):
+        """The failure exceeded XOR protection: roll the whole job back
+        to the newest complete PFS dataset, then re-seed level 1."""
+        job = self.fmi_job
+        ds = yield from self._agree_min(self.l2store.latest_for_me())
+        if ds < 0:
+            return None  # no level-2 dataset either: cold start
+        blob, sections = yield from self.l2store.read(ds)
+        payloads = _slice_sections(blob, sections)
+        # Local level-1 state is a stale timeline; wipe and re-encode
+        # so the XOR tier protects the restored state immediately.
+        yield from self.engine.reset_local()
+        meta = yield from self.engine.checkpoint(payloads, dataset_id=ds)
+        if self.rank == 0:
+            job.level2_restores += 1
+        return meta, payloads
+
+    def _agree_min(self, candidate: int):
+        """Job-wide agreement on the restore dataset (world MIN)."""
+        from repro.mpi.ops import MIN
+
+        result = yield from self.allreduce(candidate, MIN)
+        return result
+
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _as_payload(buf: CkptBuffer, index: int, nbytes) -> Payload:
+        declared = None if nbytes is None else float(nbytes[index])
+        if isinstance(buf, Payload):
+            return buf if declared is None else Payload(buf.data, nbytes=declared)
+        if isinstance(buf, np.ndarray):
+            return Payload(buf.copy(), nbytes=declared)
+        raise TypeError("checkpoint buffers must be numpy arrays or Payloads")
+
+    def _copy_into(self, ckpts: Sequence[CkptBuffer], payloads: List[Payload]):
+        if len(ckpts) != len(payloads):
+            raise ValueError(
+                f"checkpoint has {len(payloads)} buffers, app passed {len(ckpts)}"
+            )
+        total = sum(p.nbytes for p in payloads)
+        yield self.memcpy(total)  # restoring user buffers is one more memcpy
+        for buf, payload in zip(ckpts, payloads):
+            if isinstance(buf, Payload):
+                if buf.data.nbytes != payload.data.nbytes:
+                    raise ValueError("restored payload shape mismatch")
+                buf.data[:] = payload.data
+                buf.nbytes = payload.nbytes
+            else:
+                flat = buf.view(np.uint8).reshape(-1)
+                if flat.nbytes != payload.data.nbytes:
+                    raise ValueError("restored array shape mismatch")
+                flat[:] = payload.data
+def _slice_sections(blob: Payload, sections) -> List[Payload]:
+    out = []
+    offset = 0
+    for data_len, declared in sections:
+        piece = blob.data[offset : offset + data_len].copy()
+        out.append(Payload(piece, nbytes=max(float(declared), float(data_len))))
+        offset += data_len
+    return out

@@ -1,0 +1,550 @@
+"""The in-memory (and, for SCR, filesystem) XOR checkpoint engine.
+
+Implements Section V:
+
+* **storage adapters** -- FMI writes checkpoints "directly to memory
+  using memcpy" (:class:`MemoryStorage`, charged through the node's
+  memory bus); SCR writes "to memory via a file system"
+  (:class:`TmpfsStorage`, charged through the tmpfs bandwidth + open
+  latency + a CRC verification pass).  This difference is the ~10 %
+  Himeno gap in Fig 15.
+
+* **ring-pipelined XOR encoding** (Figure 9) -- every group member
+  starts a zeroed parity buffer, sends it around the ring for ``n``
+  steps, XORing in one local chunk per step; after ``n`` steps each
+  member holds its completed parity slot.  Per member: ``s`` bytes
+  memcpy'd, ``s + s/(n-1)`` bytes transferred, ``s`` bytes XORed --
+  exactly the Section V-B cost model.
+
+* **rotated decode + gather** -- chunk reconstructions pipeline around
+  the survivor ring with rotated start positions so every link stays
+  busy; each survivor terminates one rebuilt chunk and the replacement
+  "collects the decoded checkpoint chunks from the other ranks", the
+  extra ``s/net_bw`` Gather stage of Figs 11/12.  The replacement's
+  parity slot is regenerated in the same pass, so the group is fully
+  protected again immediately after recovery.
+
+* **dataset versioning** -- a failure can strike *during* a checkpoint,
+  leaving some members with the new dataset and others without.  The
+  engine therefore keeps the **two** most recent *complete* datasets
+  (completion is marked only after the whole group encoded), and
+  restore agrees -- group-wide and, via the ``world_agree`` hook,
+  job-wide -- on the newest dataset every survivor still holds.  Any
+  datasets newer than the agreed one belong to a rolled-back timeline
+  and are pruned.
+
+All of it moves *real bytes*: tests verify that a replacement rank's
+restored checkpoint is bit-identical to what the failed rank saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.node import Node
+from repro.fmi.errors import UnrecoverableFailure
+from repro.fmi.payload import Payload
+from repro.fmi.xor_codec import chunk_of_slot, slot_of_chunk, split_into_chunks
+from repro.net.matching import ANY_SOURCE
+
+__all__ = [
+    "MemoryStorage",
+    "TmpfsStorage",
+    "XorCheckpointEngine",
+    "CheckpointDataset",
+    "TAG_XOR_RING",
+    "TAG_XOR_GATHER",
+    "TAG_XOR_META",
+]
+
+TAG_XOR_RING = (1 << 25) + 1
+TAG_XOR_GATHER = (1 << 25) + 2
+TAG_XOR_META = (1 << 25) + 3
+TAG_XOR_PARITY = (1 << 25) + 4
+
+_COMPLETED_KEY = "completed"
+
+
+def _blob_key(ds: int) -> str:
+    return f"ckpt@{ds}"
+
+
+def _parity_key(ds: int) -> str:
+    return f"parity@{ds}"
+
+
+def _meta_key(ds: int) -> str:
+    return f"meta@{ds}"
+
+
+class CheckpointDataset:
+    """Metadata describing one stored checkpoint."""
+
+    def __init__(self, dataset_id: int, sections: List[tuple],
+                 blob_len: int, blob_nbytes: float):
+        self.dataset_id = dataset_id
+        #: per-user-buffer (data_len, declared_nbytes)
+        self.sections = list(sections)
+        self.blob_len = blob_len
+        self.blob_nbytes = blob_nbytes
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset_id": self.dataset_id,
+            "sections": [list(s) for s in self.sections],
+            "blob_len": self.blob_len,
+            "blob_nbytes": self.blob_nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckpointDataset":
+        return cls(
+            d["dataset_id"],
+            [tuple(s) for s in d["sections"]],
+            d["blob_len"],
+            d["blob_nbytes"],
+        )
+
+
+class MemoryStorage:
+    """FMI's diskless tier: raw memcpy into the process's memory.
+
+    The backing dict lives in the owning process object, so it vanishes
+    with the process -- which is precisely why XOR across nodes exists.
+    """
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._blobs: Dict[str, Payload] = {}
+        self._meta: Dict[str, dict] = {}
+
+    def store(self, key: str, payload: Payload):
+        yield self.node.memcpy(payload.nbytes)
+        self._blobs[key] = payload.copy()
+
+    def load(self, key: str):
+        payload = self._blobs[key]
+        yield self.node.memcpy(payload.nbytes)
+        return payload.copy()
+
+    def has(self, key: str) -> bool:
+        return key in self._blobs
+
+    def unstore(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def store_meta(self, key: str, meta: dict):
+        yield self.node.memcpy(64.0)
+        self._meta[key] = dict(meta)
+
+    def load_meta(self, key: str):
+        yield self.node.memcpy(64.0)
+        return dict(self._meta[key])
+
+    def has_meta(self, key: str) -> bool:
+        return key in self._meta
+
+    def unstore_meta(self, key: str) -> None:
+        self._meta.pop(key, None)
+
+    def clear(self) -> None:
+        self._blobs.clear()
+        self._meta.clear()
+
+
+class TmpfsStorage:
+    """SCR's level-1 tier: node-local RAM *filesystem*.
+
+    Real bytes land in the node's :class:`~repro.cluster.filesystem.Tmpfs`
+    (so they survive an MPI job relaunch but die with the node), and
+    every access pays filesystem bandwidth + open latency; writes add
+    SCR's CRC32 verification read-back.
+    """
+
+    def __init__(self, node: Node, prefix: str):
+        self.node = node
+        self.prefix = prefix
+
+    def _path(self, key: str) -> str:
+        return f"{self.prefix}/{key}"
+
+    def store(self, key: str, payload: Payload):
+        yield self.node.tmpfs.write(
+            self._path(key), payload.tobytes(), nbytes=payload.nbytes
+        )
+        # SCR verifies every file with a CRC32 pass after writing --
+        # one more trip through the filesystem.
+        yield self.node.tmpfs.read(self._path(key), nbytes=payload.nbytes)
+        # sidecar meta records the declared size
+        yield self.node.tmpfs.write(
+            self._path(key) + ".size", repr(payload.nbytes).encode()
+        )
+
+    def load(self, key: str):
+        size_raw = yield self.node.tmpfs.read(self._path(key) + ".size")
+        declared = float(size_raw.decode())
+        raw = yield self.node.tmpfs.read(self._path(key), nbytes=declared)
+        import numpy as np
+
+        return Payload(np.frombuffer(raw, dtype=np.uint8).copy(), nbytes=declared)
+
+    def has(self, key: str) -> bool:
+        return self.node.tmpfs.exists(self._path(key))
+
+    def unstore(self, key: str) -> None:
+        self.node.tmpfs.unlink(self._path(key))
+        self.node.tmpfs.unlink(self._path(key) + ".size")
+
+    def store_meta(self, key: str, meta: dict):
+        import json
+
+        yield self.node.tmpfs.write(self._path(key) + ".meta", json.dumps(meta).encode())
+
+    def load_meta(self, key: str):
+        import json
+
+        raw = yield self.node.tmpfs.read(self._path(key) + ".meta")
+        return json.loads(raw.decode())
+
+    def has_meta(self, key: str) -> bool:
+        return self.node.tmpfs.exists(self._path(key) + ".meta")
+
+    def unstore_meta(self, key: str) -> None:
+        self.node.tmpfs.unlink(self._path(key) + ".meta")
+
+    def clear(self) -> None:
+        for path in list(self.node.tmpfs.listdir()):
+            if path.startswith(self.prefix + "/"):
+                self.node.tmpfs.unlink(path)
+
+
+class XorCheckpointEngine:
+    """Group-collective checkpoint/restart for one XOR group member.
+
+    ``comm`` is a communicator over exactly the group members (rank =
+    position in group); ``storage`` is one of the adapters above;
+    ``mem_charge(nbytes)`` charges XOR compute time through the memory
+    bus.  All public methods are generators (drive with ``yield from``
+    inside a rank process).
+    """
+
+    #: complete datasets retained (2 tolerates one in-flight checkpoint)
+    KEEP = 2
+
+    def __init__(self, comm, storage, mem_charge):
+        self.comm = comm
+        self.storage = storage
+        self.mem_charge = mem_charge
+
+    # -- local dataset bookkeeping -------------------------------------------
+    def completed_ids(self) -> List[int]:
+        if not self.storage.has_meta(_COMPLETED_KEY):
+            return []
+        # Metadata dict reads are free of charge here (callers that
+        # care run load_meta through the generator API).
+        if isinstance(self.storage, MemoryStorage):
+            return list(self.storage._meta[_COMPLETED_KEY]["ids"])
+        import json
+
+        raw = self.storage.node.tmpfs._files.get(
+            self.storage._path(_COMPLETED_KEY) + ".meta"
+        )
+        return list(json.loads(raw.decode())["ids"]) if raw else []
+
+    def _store_completed(self, ids: List[int]):
+        yield from self.storage.store_meta(_COMPLETED_KEY, {"ids": sorted(ids)})
+
+    def _drop_dataset(self, ds: int) -> None:
+        self.storage.unstore(_blob_key(ds))
+        self.storage.unstore(_parity_key(ds))
+        self.storage.unstore_meta(_meta_key(ds))
+
+    def load_blob(self, dataset: int):
+        """Read back the stored (padded) blob of a local dataset."""
+        blob = yield from self.storage.load(_blob_key(dataset))
+        return blob
+
+    def reset_local(self):
+        """Drop every local dataset (used before re-seeding level 1
+        from a level-2 restore: local state is a stale timeline)."""
+        for ds in self.completed_ids():
+            self._drop_dataset(ds)
+        yield from self._store_completed([])
+
+    # ------------------------------------------------------------- checkpoint
+    def checkpoint(self, payloads: Sequence[Payload], dataset_id: int):
+        """Snapshot ``payloads``, encode parity across the group, and
+        mark the dataset complete (retaining the last ``KEEP``)."""
+        n = self.comm.size
+        sections = [(p.data.nbytes, p.nbytes) for p in payloads]
+        blob = _concat(payloads)
+
+        # Group members agree on a common (padded) blob geometry.
+        dims = yield from self.comm.allreduce(
+            (blob.data.nbytes, blob.nbytes), op=_pairmax, nbytes=16.0
+        )
+        max_len, max_declared = dims
+        # Chunks must split evenly for every member: round up to n-1.
+        max_len = _round_up(max_len, max(1, n - 1))
+        blob = blob.padded(max_len, nbytes=max_declared)
+
+        yield from self.storage.store(_blob_key(dataset_id), blob)
+        parity = yield from self._ring_encode(blob)
+        yield from self.storage.store(_parity_key(dataset_id), parity)
+        meta = CheckpointDataset(dataset_id, sections, max_len, blob.nbytes)
+        # Metadata is tiny; replicate the whole group's metas everywhere
+        # (as SCR does) so any survivor can describe a lost member's
+        # checkpoint to its replacement.  The allgather doubles as the
+        # group-wide completion barrier: once it returns, every member
+        # has stored blob+parity.
+        group_metas = yield from self.comm.allgather(meta.to_dict(), nbytes=96.0)
+        yield from self.storage.store_meta(
+            _meta_key(dataset_id),
+            {"group": {str(pos): m for pos, m in enumerate(group_metas)}},
+        )
+        ids = [i for i in self.completed_ids() if i != dataset_id]
+        ids.append(dataset_id)
+        ids.sort()
+        for old in ids[: -self.KEEP]:
+            self._drop_dataset(old)
+        yield from self._store_completed(ids[-self.KEEP :])
+        return meta
+
+    def _ring_encode(self, blob: Payload):
+        n = self.comm.size
+        i = self.comm.rank
+        if n == 1:  # degenerate group: no parity partner
+            return Payload.zeros_like(blob)
+        chunks = split_into_chunks(blob, n)
+        right = (i + 1) % n
+        left = (i - 1) % n
+        buf = Payload.zeros_like(chunks[0])
+        for step in range(n):
+            recv_evt = self.comm.post_recv(left, TAG_XOR_RING)
+            yield self.comm.send_async(right, buf, buf.nbytes, TAG_XOR_RING)
+            env = yield recv_evt
+            buf = env.data
+            slot = (i - 1 - step) % n
+            if slot != i:
+                yield self.mem_charge(buf.nbytes)
+                buf.xor_inplace(chunks[chunk_of_slot(i, slot, n)])
+        return buf  # my parity slot P_i, complete after n hops
+
+    #: world_agree sentinel: this group cannot recover with XOR alone
+    BEYOND_XOR = -2
+
+    # ---------------------------------------------------------------- restart
+    def restore(self, world_agree=None, allow_beyond_xor: bool = False):
+        """Group-collective restart.
+
+        Collectively picks the newest dataset every survivor still
+        holds (optionally narrowed job-wide through ``world_agree``, a
+        generator-function mapping this group's candidate id to the
+        global minimum), rebuilds at most one lost member, prunes
+        stale newer datasets, and returns ``(meta, payloads)`` -- or
+        ``None`` when no checkpoint exists anywhere (cold start).
+
+        If more than one member of the group lost its data (the paper's
+        level-1 limit) the group is *beyond XOR repair*: with
+        ``allow_beyond_xor`` (the multilevel path) the sentinel string
+        ``"beyond-xor"`` is returned -- and, because the sentinel value
+        :attr:`BEYOND_XOR` is smaller than every real dataset id, a
+        MIN-based ``world_agree`` automatically drags **every** group to
+        the level-2 fallback.  Otherwise
+        :class:`UnrecoverableFailure` is raised.
+        """
+        mine = self.completed_ids()
+        entries = yield from self.comm.allgather(list(mine), nbytes=16.0)
+        missing = [pos for pos, ids in enumerate(entries) if not ids]
+        if len(missing) == len(entries):
+            # Nobody in the group has anything.  Without a deeper tier
+            # that is a cold start; with one it might be a wiped group
+            # (every member's node died), so let level 2 decide.
+            candidate = self.BEYOND_XOR if allow_beyond_xor else -1
+        else:
+            survivor_sets = [set(ids) for ids in entries if ids]
+            common = set.intersection(*survivor_sets)
+            if len(missing) > 1 or not common:
+                # Either two members lost everything, or the survivors
+                # hold no common complete dataset: XOR cannot repair.
+                if not allow_beyond_xor:
+                    raise UnrecoverableFailure(
+                        f"XOR group beyond level-1 repair ({len(missing)} "
+                        f"members lost, common datasets: {sorted(common) if common else []})"
+                    )
+                candidate = self.BEYOND_XOR
+            else:
+                candidate = max(common)
+
+        if world_agree is not None:
+            dataset = yield from world_agree(candidate)
+        else:
+            dataset = candidate
+        if dataset == self.BEYOND_XOR:
+            return "beyond-xor"
+        if dataset == -1:
+            # Cold start everywhere: wipe any partial local state.
+            for ds in mine:
+                self._drop_dataset(ds)
+            if mine:
+                yield from self._store_completed([])
+            return None
+        if self.comm.rank not in missing and dataset not in mine:
+            raise UnrecoverableFailure(
+                f"agreed dataset {dataset} not held locally (have {mine})"
+            )
+
+        # Prune datasets newer than the agreed one: they belong to the
+        # rolled-back timeline.
+        if self.comm.rank not in missing:
+            keep = [i for i in mine if i <= dataset]
+            for ds in mine:
+                if ds > dataset:
+                    self._drop_dataset(ds)
+            if keep != mine:
+                yield from self._store_completed(keep)
+
+        if not missing:
+            blob = yield from self.storage.load(_blob_key(dataset))
+            meta = yield from self._my_meta(dataset)
+            return meta, _slice(blob, meta)
+
+        f = missing[0]
+        if self.comm.rank == f:
+            blob, parity, group_meta = yield from self._receive_rebuilt(f)
+            yield from self.storage.store(_blob_key(dataset), blob)
+            yield from self.storage.store(_parity_key(dataset), parity)
+            yield from self.storage.store_meta(_meta_key(dataset), group_meta)
+            yield from self._store_completed([dataset])
+            meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
+            return meta, _slice(blob, meta)
+        blob = yield from self._pipeline_contribute(f, dataset)
+        meta = yield from self._my_meta(dataset)
+        return meta, _slice(blob, meta)
+
+    def _my_meta(self, dataset: int):
+        raw = yield from self.storage.load_meta(_meta_key(dataset))
+        return CheckpointDataset.from_dict(raw["group"][str(self.comm.rank)])
+
+    def _pipeline_contribute(self, f: int, dataset: int):
+        """Survivor side of the decode (same ring structure as encode).
+
+        The ``n - 1`` chunk reconstructions run as *rotated* pipelines
+        over the survivor ring: chunk ``m`` starts at survivor
+        ``m mod (n-1)``, visits every survivor (each XORs in its
+        contribution), and terminates at a *different* survivor for
+        each ``m`` -- so at every step all survivor links are busy
+        (decode time ~ encode time), and afterwards each survivor holds
+        exactly one rebuilt chunk.  The replacement then "collects the
+        decoded checkpoint chunks from the other ranks" (Section V-A),
+        the extra ``s/net_bw`` Gather stage of Fig 11.  A final pass
+        regenerates the lost parity slot ``P_f`` so the group is fully
+        protected again.
+        """
+        n = self.comm.size
+        me = self.comm.rank
+        blob = yield from self.storage.load(_blob_key(dataset))
+        parity = yield from self.storage.load(_parity_key(dataset))
+        chunks = split_into_chunks(blob, n)
+        survivors = [r for r in range(n) if r != f]
+        ns = len(survivors)
+        p = survivors.index(me)
+        if p == 0:
+            # Ship the replicated group metadata so the replacement can
+            # slice its rebuilt blob.
+            meta = yield from self.storage.load_meta(_meta_key(dataset))
+            yield self.comm.send_async(f, meta, 128.0, TAG_XOR_META)
+
+        def contribution(m: int) -> Payload:
+            j = slot_of_chunk(f, m, n)
+            return parity if me == j else chunks[chunk_of_slot(me, j, n)]
+
+        terminal: Optional[Payload] = None
+        terminal_m = (p + 1) % ns  # the chunk whose pipeline ends at me
+        for t in range(ns):
+            m = (p - t) % ns  # the chunk I handle at step t
+            if t == 0:
+                buf = contribution(m).copy()
+            else:
+                env = yield self.comm.post_recv(
+                    survivors[(p - 1) % ns], TAG_XOR_RING
+                )
+                buf = env.data
+                yield self.mem_charge(buf.nbytes)
+                buf.xor_inplace(contribution(m))
+            if t == ns - 1:
+                terminal = buf
+            else:
+                yield self.comm.send_async(
+                    survivors[(p + 1) % ns], buf, buf.nbytes, TAG_XOR_RING
+                )
+        # Gather stage: every survivor forwards its one rebuilt chunk.
+        yield self.comm.send_async(f, (terminal_m, terminal),
+                                   terminal.nbytes, TAG_XOR_GATHER)
+        # Parity regeneration: P_f = XOR of every survivor's chunk
+        # assigned to slot f.  A binomial XOR-reduce (log2 depth, one
+        # chunk per link) keeps this cheap next to the gather; the head
+        # survivor forwards the finished slot to the replacement.
+        acc = chunks[chunk_of_slot(me, f, n)].copy()
+        mask = 1
+        while mask < ns:
+            if p & mask:
+                dst = survivors[p - mask]
+                yield self.comm.send_async(dst, acc, acc.nbytes, TAG_XOR_PARITY)
+                break
+            src = p + mask
+            if src < ns:
+                env = yield self.comm.post_recv(survivors[src], TAG_XOR_PARITY)
+                yield self.mem_charge(acc.nbytes)
+                acc.xor_inplace(env.data)
+            mask <<= 1
+        if p == 0:
+            yield self.comm.send_async(f, acc, acc.nbytes, TAG_XOR_PARITY)
+        return blob
+
+    def _receive_rebuilt(self, f: int):
+        """Replacement side: collect one rebuilt chunk per survivor,
+        plus the regenerated parity slot."""
+        n = self.comm.size
+        survivors = [r for r in range(n) if r != f]
+        env = yield self.comm.post_recv(survivors[0], TAG_XOR_META)
+        group_meta = env.data
+        meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
+        chunks: List[Optional[Payload]] = [None] * (n - 1)
+        for _ in range(n - 1):
+            env = yield self.comm.post_recv(ANY_SOURCE, TAG_XOR_GATHER)
+            m, payload = env.data
+            chunks[m] = payload
+        blob = Payload.join(chunks, data_len=meta.blob_len, nbytes=meta.blob_nbytes)
+        env = yield self.comm.post_recv(survivors[0], TAG_XOR_PARITY)
+        parity = env.data
+        return blob, parity, group_meta
+
+
+# ------------------------------------------------------------------ helpers
+def _pairmax(a, b):
+    return (max(a[0], b[0]), max(a[1], b[1]))
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+def _concat(payloads: Sequence[Payload]) -> Payload:
+    import numpy as np
+
+    if not payloads:
+        return Payload(np.zeros(1, dtype=np.uint8), nbytes=1.0)
+    data = np.concatenate([p.data for p in payloads])
+    declared = sum(p.nbytes for p in payloads)
+    return Payload(data, nbytes=max(declared, float(data.nbytes)))
+
+
+def _slice(blob: Payload, meta: CheckpointDataset) -> List[Payload]:
+    out: List[Payload] = []
+    offset = 0
+    for data_len, declared in meta.sections:
+        piece = blob.data[offset : offset + data_len].copy()
+        out.append(Payload(piece, nbytes=max(declared, float(data_len))))
+        offset += data_len
+    return out

@@ -1,0 +1,110 @@
+"""The log-ring failure detector (Section IV-C).
+
+Each rank in the H2 Connecting state joins the current epoch's overlay:
+ibverbs-style connections to its log-ring neighbours.  When a process
+dies, every connection it held raises a disconnection event on the
+surviving side after the ~0.2 s ibverbs close delay.  A survivor that
+receives such an event
+
+1. *cascades*: explicitly closes its remaining overlay connections, so
+   its neighbours hear within one hop delay, and
+2. *notifies* its own process, which aborts C/R and application work
+   and transitions back to H1.
+
+The cascade reaches every rank within ``ceil(ceil(log2 n)/2)`` hops
+(Figure 7); the measured notification times are Fig 13.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.net.endpoint import Connection, ConnectionManager
+from repro.net.overlay import logring_neighbors
+
+__all__ = ["LogRingDetector"]
+
+Key = Tuple[int, int]  # (rank, overlay epoch)
+
+
+class LogRingDetector:
+    """Builds per-epoch log-ring overlays and turns connection events
+    into FMI failure notifications."""
+
+    def __init__(self, job):
+        self.job = job
+        self.cm = ConnectionManager(job.machine)
+        self.k = job.config.logring_k
+        self._conns: Dict[int, List[Connection]] = {}
+        self._joined_epoch: Dict[int, int] = {}
+        self._cascaded: Dict[int, int] = {}  # rank -> last generation cascaded
+        #: (rank, time, generation) notification record -- Fig 13's data
+        self.notifications: List[Tuple[int, float, int]] = []
+
+    # -- membership -----------------------------------------------------------
+    def connections_per_rank(self, n: int) -> int:
+        return len(logring_neighbors(0, n, self.k))
+
+    def join(self, fproc, epoch: int) -> None:
+        """``fproc`` (in H2) enters the epoch's overlay.
+
+        Old-epoch edges are torn down silently (both sides rebuild).
+        Edges appear when the *second* endpoint of a pair joins, so
+        after every member has joined the overlay is complete.
+        """
+        rank = fproc.rank
+        for conn in self._conns.pop(rank, []):
+            conn.close_silent()
+        self._joined_epoch[rank] = epoch
+        self._conns[rank] = []
+        n = self.job.num_ranks
+        out = logring_neighbors(rank, n, self.k)
+        neighbours = set(out)
+        # Incoming edges are the mirror image: rank - offset for every
+        # log-ring offset (closed form; avoids an O(n) scan per join).
+        offsets = [(peer - rank) % n for peer in out]
+        neighbours |= {(rank - off) % n for off in offsets}
+        neighbours.discard(rank)
+        for peer in neighbours:
+            if self._joined_epoch.get(peer) != epoch:
+                continue  # peer will create the edge when it joins
+            peer_proc = self.job.rank_procs.get(peer)
+            if peer_proc is None or not peer_proc.alive:
+                continue
+            conn = self.cm.connect(
+                (rank, epoch), fproc.node, (peer, epoch), peer_proc.node
+            )
+            conn.on_disconnect((rank, epoch), self._on_event)
+            conn.on_disconnect((peer, epoch), self._on_event)
+            self._conns[rank].append(conn)
+            self._conns.setdefault(peer, []).append(conn)
+
+    def leave(self, rank: int) -> None:
+        """Silently drop a rank's overlay edges (finished rank)."""
+        for conn in self._conns.pop(rank, []):
+            conn.close_silent()
+        self._joined_epoch.pop(rank, None)
+
+    # -- death without node death ------------------------------------------------
+    def process_died(self, rank: int, reason: str) -> None:
+        """fmirun.task saw a child die while its node stayed up; break
+        the child's connections as the ibverbs layer would."""
+        for conn in self._conns.pop(rank, []):
+            epoch = self._joined_epoch.get(rank, 0)
+            conn.break_by_owner_death((rank, epoch), reason)
+        self._joined_epoch.pop(rank, None)
+
+    # -- event handling -----------------------------------------------------------
+    def _on_event(self, conn: Connection, key: Any, reason: str) -> None:
+        rank, epoch = key
+        generation = epoch + 1  # a failure under epoch e leads to epoch e+1
+        fproc = self.job.rank_procs.get(rank)
+        if fproc is None or not fproc.alive:
+            return
+        if self._cascaded.get(rank, -1) < generation:
+            self._cascaded[rank] = generation
+            for other in self._conns.pop(rank, []):
+                if other.open:
+                    other.close_from((rank, epoch), reason=f"cascade:{reason}")
+            self.notifications.append((rank, self.job.sim.now, generation))
+        fproc.notify_failure(generation, reason)

@@ -1,0 +1,184 @@
+"""FmiJob -- launch an FMI application and run it through failures."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.machine import Machine
+from repro.fmi.config import FmiConfig
+from repro.fmi.api import FmiContext
+from repro.fmi.detector import LogRingDetector
+from repro.fmi.errors import FmiAbort
+from repro.fmi.runtime import Fmirun, FmiProcess
+from repro.fmi.state import TransitionLog
+from repro.fmi.xor_group import XorGroupLayout
+from repro.net.pmgr import PmgrRendezvous
+from repro.net.transport import Transport
+from repro.simt.kernel import Event
+
+__all__ = ["FmiJob"]
+
+AppFactory = Callable[[FmiContext], Any]  # callable(fmi) -> generator
+
+
+class FmiJob:
+    """One FMI application run (the ``fmirun`` invocation).
+
+    The job object is also the runtime's shared blackboard: the
+    recovery epoch, the virtual-rank endpoint table, the per-epoch H1
+    rendezvous, the log-ring detector, and the statistics every
+    benchmark reads.
+
+    Typical use::
+
+        job = FmiJob(machine, app, num_ranks=48, procs_per_node=12,
+                     config=FmiConfig(interval=5, xor_group_size=4))
+        results = sim.run(until=job.launch())
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        app: AppFactory,
+        num_ranks: int,
+        procs_per_node: int = 1,
+        config: Optional[FmiConfig] = None,
+        name: str = "fmi",
+    ):
+        if num_ranks < 1 or procs_per_node < 1:
+            raise ValueError("num_ranks and procs_per_node must be >= 1")
+        if num_ranks % procs_per_node != 0:
+            raise ValueError("num_ranks must be a multiple of procs_per_node")
+        self.machine = machine
+        self.sim = machine.sim
+        self.app = app
+        self.num_ranks = num_ranks
+        self.ppn = procs_per_node
+        self.num_nodes = num_ranks // procs_per_node
+        self.config = config or FmiConfig()
+        self.name = name
+        group = min(self.config.xor_group_size, self.num_nodes)
+        self.xor_layout = XorGroupLayout(num_ranks, procs_per_node, group)
+        self.transport = Transport(
+            machine, sw_overhead=machine.spec.network.sw_overhead_fmi
+        )
+        self.detector = LogRingDetector(self)
+        self.transitions = TransitionLog()
+
+        # -- shared runtime state --
+        self.epoch = 0
+        self.rank_procs: Dict[int, FmiProcess] = {}
+        self.addr_table: Dict[int, Tuple[int, int]] = {}
+        self._h1_rdv: Dict[int, PmgrRendezvous] = {}
+        self._h2_rdv: Dict[int, PmgrRendezvous] = {}
+        self.finished_ranks: Set[int] = set()
+        self.results: Dict[int, Any] = {}
+        self.done: Event = self.sim.event()
+        self.fmirun = Fmirun(self)
+
+        # -- statistics --
+        self.recovery_causes: List[Tuple[float, str]] = []
+        self.recovered_at: Dict[int, float] = {}
+        self.checkpoints_done = 0
+        self.restores_done = 0
+        #: level-2 (multilevel C/R) bookkeeping
+        self.next_l2_at = 0
+        self.level2_flushes = 0
+        self.level2_restores = 0
+        self.launched_at: Optional[float] = None
+        #: time rank 0 left H2 in epoch 0 (the FMI_Init measurement)
+        self.init_done_at: Optional[float] = None
+
+    # -- launch ----------------------------------------------------------------
+    def launch(self) -> Event:
+        if self.launched_at is not None:
+            raise RuntimeError("job already launched")
+        self.launched_at = self.sim.now
+        self.fmirun.start()
+        return self.done
+
+    # -- geometry ------------------------------------------------------------------
+    def ranks_of_slot(self, slot: int) -> List[int]:
+        return list(range(slot * self.ppn, (slot + 1) * self.ppn))
+
+    # -- runtime services (called by FmiProcess) -------------------------------------
+    def register_endpoint(self, rank: int, fproc: FmiProcess) -> None:
+        """H1: publish this incarnation's transport address (this is
+        the endpoint update of Figure 8)."""
+        self.addr_table[rank] = fproc.ctx.addr
+
+    def h1_rendezvous(self) -> PmgrRendezvous:
+        epoch = self.epoch
+        rdv = self._h1_rdv.get(epoch)
+        if rdv is None:
+            size = self.num_ranks - len(self.finished_ranks)
+            cost = self.machine.spec.fmi_bootstrap_time(self.num_ranks)
+            rdv = PmgrRendezvous(self.sim, size, cost)
+            self._h1_rdv[epoch] = rdv
+        return rdv
+
+    def h2_rendezvous(self) -> PmgrRendezvous:
+        epoch = self.epoch
+        rdv = self._h2_rdv.get(epoch)
+        if rdv is None:
+            size = self.num_ranks - len(self.finished_ranks)
+            rdv = PmgrRendezvous(self.sim, size, cost=0.0)
+            self._h2_rdv[epoch] = rdv
+        return rdv
+
+    def note_recovery_complete(self) -> None:
+        epoch = self.epoch
+        if epoch not in self.recovered_at:
+            self.recovered_at[epoch] = self.sim.now
+            if epoch == 0:
+                self.init_done_at = self.sim.now
+
+    def make_api(self, fproc: FmiProcess) -> FmiContext:
+        return FmiContext(fproc)
+
+    def rank_finished(self, rank: int, result: Any) -> None:
+        self.finished_ranks.add(rank)
+        self.results[rank] = result
+        self.detector.leave(rank)
+        if len(self.finished_ranks) == self.num_ranks and not self.done.triggered:
+            self.fmirun.shutdown()
+            self.done.succeed([self.results[r] for r in range(self.num_ranks)])
+
+    def process_lost(self, fproc: FmiProcess, exc: Exception) -> None:
+        """A rank process was killed (injected failure / node crash).
+        Recovery is driven by fmirun's task monitoring; nothing to do
+        here beyond bookkeeping."""
+
+    def abort(self, exc: BaseException) -> None:
+        if self.done.triggered:
+            return
+        for fproc in self.rank_procs.values():
+            if fproc.proc.alive:
+                fproc.proc.kill(cause="fmi job abort")
+        self.fmirun.shutdown()
+        self.done.fail(exc if isinstance(exc, FmiAbort) else FmiAbort(repr(exc)))
+
+    # -- observability ---------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def recovery_count(self) -> int:
+        return self.epoch
+
+    def recovery_latency(self, epoch: int) -> Optional[float]:
+        """Seconds from the failure that opened ``epoch`` to the moment
+        every rank was back in H3."""
+        if epoch not in self.recovered_at:
+            return None
+        start = next(
+            (t for t, _c in self.recovery_causes if t <= self.recovered_at[epoch]),
+            None,
+        )
+        causes = [t for t, _c in self.recovery_causes]
+        if epoch - 1 < len(causes):
+            start = causes[epoch - 1]
+        if start is None:
+            return None
+        return self.recovered_at[epoch] - start

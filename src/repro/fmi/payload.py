@@ -1,0 +1,140 @@
+"""Checkpoint payloads: declared size vs. representative data.
+
+The paper checkpoints 6 GB/node; materialising that for 1,536 simulated
+processes is impossible, so a :class:`Payload` separates:
+
+* ``nbytes``  -- the *declared* size, used for every timing charge
+  (memcpy, network transfer, XOR encode);
+* ``data``    -- a real ``uint8`` array carried through every code path
+  (messages, XOR parity, reconstruction) so data integrity is
+  verifiable bit-for-bit.
+
+When ``nbytes == data.nbytes`` (the default for :meth:`wrap`) the model
+is exact; large-scale benches use :meth:`synthetic` payloads whose
+representative array is small but whose declared size is the full
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+__all__ = ["Payload"]
+
+ArrayLike = Union[np.ndarray, bytes, bytearray, memoryview]
+
+
+class Payload:
+    """A sized blob of checkpoint (or message) data."""
+
+    __slots__ = ("nbytes", "data")
+
+    def __init__(self, data: np.ndarray, nbytes: float = None):
+        if not isinstance(data, np.ndarray):
+            raise TypeError("Payload data must be a numpy array")
+        self.data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self.nbytes = float(self.data.nbytes if nbytes is None else nbytes)
+        if self.nbytes < self.data.nbytes:
+            raise ValueError(
+                f"declared nbytes ({self.nbytes}) smaller than real data "
+                f"({self.data.nbytes})"
+            )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def wrap(cls, obj: ArrayLike) -> "Payload":
+        """Exact payload around real bytes / an ndarray (copies)."""
+        if isinstance(obj, np.ndarray):
+            return cls(obj.copy())
+        if not isinstance(obj, (bytes, bytearray, memoryview)):
+            # Guard against bytes(int) creating an n-byte zero buffer.
+            raise TypeError(
+                f"cannot wrap {type(obj).__name__}; pass an ndarray or bytes"
+            )
+        return cls(np.frombuffer(bytes(obj), dtype=np.uint8).copy())
+
+    @classmethod
+    def synthetic(cls, nbytes: float, seed: int = 0, rep_bytes: int = 256) -> "Payload":
+        """Declared-size payload with a small deterministic witness array."""
+        rep = min(int(rep_bytes), int(nbytes)) or 1
+        rng = np.random.default_rng(seed)
+        return cls(rng.integers(0, 256, size=rep, dtype=np.uint8), nbytes=nbytes)
+
+    @classmethod
+    def zeros_like(cls, other: "Payload") -> "Payload":
+        return cls(np.zeros_like(other.data), nbytes=other.nbytes)
+
+    # -- behaviour ------------------------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """True when declared size equals real size (full fidelity)."""
+        return self.nbytes == self.data.nbytes
+
+    def copy(self) -> "Payload":
+        return Payload(self.data.copy(), nbytes=self.nbytes)
+
+    def xor_inplace(self, other: "Payload") -> "Payload":
+        """``self ^= other`` over the representative data.
+
+        Payloads in one XOR group must have equal representative
+        lengths (group members are padded by the checkpoint engine).
+        """
+        if other.data.nbytes != self.data.nbytes:
+            raise ValueError("XOR of payloads with mismatched data lengths")
+        np.bitwise_xor(self.data, other.data, out=self.data)
+        return self
+
+    def padded(self, data_len: int, nbytes: float) -> "Payload":
+        """Copy padded with zeros to ``data_len`` real bytes and at
+        least ``nbytes`` declared bytes (XOR groups pad to max)."""
+        if data_len < self.data.nbytes:
+            raise ValueError("cannot pad to a smaller length")
+        buf = np.zeros(data_len, dtype=np.uint8)
+        buf[: self.data.nbytes] = self.data
+        return Payload(buf, nbytes=max(nbytes, float(data_len), self.nbytes))
+
+    def split(self, k: int) -> List["Payload"]:
+        """Split into ``k`` equal chunks (zero-padding the tail).
+
+        Chunk declared size is ``ceil(nbytes / k)``; chunk data length
+        is ``ceil(data_len / k)``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        chunk_data = -(-self.data.nbytes // k)  # ceil
+        chunk_declared = self.nbytes / k
+        out = []
+        for i in range(k):
+            piece = np.zeros(chunk_data, dtype=np.uint8)
+            lo = i * chunk_data
+            hi = min(lo + chunk_data, self.data.nbytes)
+            if lo < self.data.nbytes:
+                piece[: hi - lo] = self.data[lo:hi]
+            out.append(Payload(piece, nbytes=max(chunk_declared, float(chunk_data))))
+        return out
+
+    @staticmethod
+    def join(chunks: List["Payload"], data_len: int, nbytes: float) -> "Payload":
+        """Inverse of :meth:`split`: concatenate and trim."""
+        buf = np.concatenate([c.data for c in chunks])[:data_len]
+        return Payload(buf.copy(), nbytes=nbytes)
+
+    def tobytes(self) -> bytes:
+        return self.data.tobytes()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Payload)
+            and self.nbytes == other.nbytes
+            and self.data.nbytes == other.data.nbytes
+            and bool(np.array_equal(self.data, other.data))
+        )
+
+    def __hash__(self):  # pragma: no cover - payloads are not dict keys
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        marker = "" if self.exact else f" (rep {self.data.nbytes}B)"
+        return f"<Payload {self.nbytes:.0f}B{marker}>"

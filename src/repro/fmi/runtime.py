@@ -1,0 +1,378 @@
+"""The survivable FMI runtime: fmirun, fmirun.task, and rank processes.
+
+Hierarchy (Figure 6):
+
+* :class:`Fmirun` -- the master process.  Lives on the login node
+  (outside the compute failure domain -- the paper acknowledges this
+  single point of failure and argues its MTBF is years).  Allocates
+  nodes (+ pre-reserved spares), starts an ``fmirun.task`` per node,
+  and on task failure finds a replacement node and respawns the lost
+  ranks.
+* :class:`FmirunTask` -- one per node; spawns the node's application
+  processes, kills its remaining children when one dies, and reports
+  EXIT_FAILURE up to fmirun.
+* :class:`FmiProcess` -- one per rank slot; runs the H1 -> H2 -> H3
+  state machine (Figure 5).  A failure notification anywhere inside H3
+  (including mid-collective, mid-checkpoint) unwinds the application
+  generator and loops back to H1 -- the paper's Notified transition.
+
+Survivor processes are *never* restarted as processes; their
+in-memory checkpoint storage survives recovery, which is what makes
+FMI's restart so much cheaper than MPI's relaunch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.node import Node
+from repro.fmi.checkpoint import MemoryStorage
+from repro.fmi.errors import FailureNotified, FmiAbort
+from repro.fmi.interval import IntervalPolicy
+from repro.fmi.state import ProcState
+from repro.simt.kernel import Event
+from repro.simt.process import Interrupt, ProcessKilled
+
+__all__ = ["Fmirun", "FmirunTask", "FmiProcess", "RankState"]
+
+
+class RankState:
+    """Per-rank FMI bookkeeping that survives application restarts
+    (but not process death -- replacements start fresh)."""
+
+    def __init__(self, config):
+        self.loop_id = 0
+        self.last_ckpt_loop: Optional[int] = None
+        self.restore_pending = False
+        self.policy = IntervalPolicy(config)
+
+
+class FmiProcess:
+    """One rank's runtime process (one incarnation)."""
+
+    def __init__(self, job, rank: int, node: Node, incarnation: int):
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.incarnation = incarnation
+        self.sim = job.sim
+        self.ctx = job.transport.create_context(node, f"fmi:r{rank}i{incarnation}")
+        self.storage = MemoryStorage(node)
+        self.rank_state = RankState(job.config)
+        self.state = ProcState.H1_BOOTSTRAPPING
+        #: highest recovery generation this process has been told about
+        self.notified_gen = -1
+        self._notified_pending = False
+        self.proc = node.spawn(self._main(), name=f"fmi:rank{rank}.{incarnation}")
+        self.proc.callbacks.append(self._on_exit)
+
+    # -- liveness / notification ------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.proc.alive and self.node.alive
+
+    @property
+    def notified_pending(self) -> bool:
+        return self._notified_pending
+
+    def notify_failure(self, generation: int, reason: str = "") -> None:
+        """Deliver a failure notification (log-ring event or fmirun
+        re-sync).  Idempotent per generation."""
+        if not self.alive or self.state is ProcState.DONE:
+            return
+        if self.notified_gen >= generation:
+            return
+        self.notified_gen = generation
+        self._notified_pending = True
+        self.proc.interrupt(FailureNotified(generation, reason))
+
+    # -- the state machine ----------------------------------------------------------
+    def _set_state(self, state: ProcState) -> None:
+        self.state = state
+        self.job.transitions.record(
+            self.sim.now, self.rank, self.incarnation, state, self.job.epoch
+        )
+
+    def _main(self):
+        job = self.job
+        spec = job.machine.spec
+        booted = False
+        while True:
+            try:
+                if not booted:
+                    # fork/exec + loading the executable (once per process).
+                    yield self.sim.timeout(
+                        spec.proc_spawn_latency + spec.exec_load_latency
+                    )
+                    booted = True
+                yield from self._h1()
+                yield from self._h2()
+                result = yield from self._h3()
+                self._set_state(ProcState.DONE)
+                job.rank_finished(self.rank, result)
+                return result
+            except (FailureNotified, Interrupt) as exc:
+                self._notified_pending = True  # stays set until H1 resets it
+                gen = getattr(exc, "epoch", None)
+                if gen is None and isinstance(exc, Interrupt):
+                    cause = exc.cause
+                    gen = getattr(cause, "epoch", None)
+                self.notified_gen = max(
+                    self.notified_gen, gen if gen is not None else job.epoch
+                )
+                continue  # Notified transition: back to H1
+
+    def _h1(self):
+        """Bootstrapping: synchronise every rank, exchange endpoints."""
+        self._set_state(ProcState.H1_BOOTSTRAPPING)
+        job = self.job
+        self._notified_pending = False
+        self.notified_gen = max(self.notified_gen, job.epoch)
+        self.ctx.epoch = job.epoch  # stale pre-failure traffic now drops
+        self.ctx.matching.reset()
+        job.register_endpoint(self.rank, self)
+        rdv = job.h1_rendezvous()
+        yield rdv.arrive()
+
+    def _h2(self):
+        """Connecting: build this epoch's log-ring overlay."""
+        self._set_state(ProcState.H2_CONNECTING)
+        job = self.job
+        n_conn = job.detector.connections_per_rank(job.num_ranks)
+        yield self.sim.timeout(job.machine.spec.network.overlay_connect_cost * n_conn)
+        job.detector.join(self, job.epoch)
+        rdv = job.h2_rendezvous()
+        yield rdv.arrive()
+        job.note_recovery_complete()
+
+    def _h3(self):
+        """Running: (re)start the application generator."""
+        self._set_state(ProcState.H3_RUNNING)
+        job = self.job
+        if job.epoch > 0:
+            # Recovery restart: FMI_Loop must restore the checkpoint.
+            self.rank_state.restore_pending = True
+        api = job.make_api(self)
+        result = yield from job.app(api)
+        return result
+
+    # -- exit handling ------------------------------------------------------------
+    def _on_exit(self, proc_evt: Event) -> None:
+        if proc_evt._ok or self.state is ProcState.DONE:
+            return
+        exc = proc_evt._value
+        if isinstance(exc, ProcessKilled):
+            # Injected failure / node crash: the survivable path.
+            self.job.process_lost(self, exc)
+        else:
+            # Programming error or unrecoverable condition: abort.
+            self.job.abort(exc)
+
+
+class FmirunTask:
+    """Per-node process manager (the second tier of Figure 6)."""
+
+    def __init__(self, fmirun: "Fmirun", slot: int, node: Node):
+        self.fmirun = fmirun
+        self.slot = slot
+        self.node = node
+        self.sim = fmirun.sim
+        self.failed = False
+        self.children: List[FmiProcess] = []
+        self._guard = node.spawn(self._task_main(), name=f"fmirun.task[{node.id}]")
+        self._guard.callbacks.append(self._on_guard_exit)
+
+    def _task_main(self):
+        yield Event(self.sim)  # exists until killed (node crash / teardown)
+
+    def _on_guard_exit(self, evt: Event) -> None:
+        # Only reached by kill (node crash or job teardown).
+        if not self.failed and not self.fmirun.job.finished:
+            self.failed = True
+            self.fmirun.on_task_failure(self, "node-crash")
+
+    def spawn_ranks(self, ranks: List[int], incarnation: int) -> None:
+        for rank in ranks:
+            fproc = FmiProcess(self.fmirun.job, rank, self.node, incarnation)
+            self.children.append(fproc)
+            fproc.proc.callbacks.append(self._child_exit(fproc))
+            self.fmirun.job.rank_procs[rank] = fproc
+
+    def _child_exit(self, fproc: FmiProcess):
+        def cb(evt: Event) -> None:
+            if evt._ok or self.failed or self.fmirun.job.finished:
+                return
+            if not self.node.alive:
+                return  # node crash: guard path reports it
+            if not isinstance(evt._value, ProcessKilled):
+                return  # app exception: job.abort already triggered
+            # A child died while the node stayed up: kill the other
+            # children and exit with EXIT_FAILURE (Section IV-B).
+            self.failed = True
+            for sibling in self.children:
+                if sibling is not fproc and sibling.proc.alive:
+                    sibling.proc.kill(cause="fmirun.task sibling kill")
+            self.fmirun.job.detector.process_died(fproc.rank, "child-death")
+            self._guard.kill(cause="fmirun.task EXIT_FAILURE")
+            self.fmirun.on_task_failure(self, f"child rank {fproc.rank} died")
+
+        return cb
+
+    def shutdown(self) -> None:
+        self.failed = True
+        if self._guard.alive:
+            self._guard.kill(cause="job teardown")
+
+
+class Fmirun:
+    """The master runtime process (head-node side)."""
+
+    def __init__(self, job):
+        self.job = job
+        self.sim = job.sim
+        self.machine = job.machine
+        self.alloc = None
+        self.node_slots: List[Node] = []
+        self.tasks: Dict[int, FmirunTask] = {}
+        self._last_bump_time: Optional[float] = None
+        self._recovery_proc = None
+
+    # -- launch -----------------------------------------------------------------
+    def start(self) -> None:
+        job = self.job
+        self.alloc = self.machine.rm.allocate(
+            job.num_nodes, num_spares=job.config.spare_nodes
+        )
+        self.node_slots = list(self.alloc.nodes)
+        for slot, node in enumerate(self.node_slots):
+            self._start_task(slot, node, incarnation=0)
+
+    def _start_task(self, slot: int, node: Node, incarnation: int) -> None:
+        task = FmirunTask(self, slot, node)
+        self.tasks[slot] = task
+        ranks = self.job.ranks_of_slot(slot)
+        task.spawn_ranks(ranks, incarnation)
+
+    # -- failure handling -----------------------------------------------------------
+    def on_task_failure(self, task: FmirunTask, cause: str) -> None:
+        if self.job.finished:
+            return
+        self.begin_recovery(f"task[{task.slot}]: {cause}")
+
+    def begin_recovery(self, cause: str) -> None:
+        """Bump the recovery epoch (coalescing same-instant failures)
+        and make sure the replacement machinery is running."""
+        job = self.job
+        if self._last_bump_time == self.sim.now:
+            return
+        self._last_bump_time = self.sim.now
+        job.epoch += 1
+        job.recovery_causes.append((self.sim.now, cause))
+        if job.config.max_recoveries is not None and job.epoch > job.config.max_recoveries:
+            job.abort(FmiAbort(f"exceeded max_recoveries={job.config.max_recoveries}"))
+            return
+        # Processes already back in H1/H2 (recovering from an earlier
+        # failure) have no overlay to hear through; fmirun re-syncs them
+        # over the PMGR tree.  H3 processes hear via the log-ring.
+        for fproc in job.rank_procs.values():
+            if fproc.alive and fproc.state in (
+                ProcState.H1_BOOTSTRAPPING, ProcState.H2_CONNECTING
+            ):
+                fproc.notify_failure(job.epoch, "fmirun re-sync")
+        if self._recovery_proc is None or not self._recovery_proc.alive:
+            self._recovery_proc = self.sim.spawn(
+                self._recover(), name="fmirun.recover"
+            )
+        # Safety sweep: anything still un-notified well after the
+        # log-ring should have reached it gets a direct poke.
+        sweep = self.sim.timeout(1.0)
+        target = job.epoch
+        sweep.callbacks.append(lambda _e: self._sweep(target))
+
+    def _sweep(self, generation: int) -> None:
+        job = self.job
+        if job.finished or job.epoch != generation:
+            return
+        for fproc in job.rank_procs.values():
+            if fproc.alive and fproc.notified_gen < generation:
+                fproc.notify_failure(generation, "fmirun sweep")
+
+    def _recover(self):
+        """Replace failed nodes and respawn their ranks (Figure 6)."""
+        job = self.job
+        spec = self.machine.spec
+        while True:
+            target_epoch = job.epoch
+            for slot in range(job.num_nodes):
+                node = self.node_slots[slot]
+                task = self.tasks.get(slot)
+                ranks = job.ranks_of_slot(slot)
+                if all(
+                    job.rank_procs[r].alive or r in job.finished_ranks
+                    for r in ranks
+                ) and node.alive and task is not None and not task.failed:
+                    continue
+                # This slot needs a fresh node (spare list first, then
+                # the resource manager).
+                if task is not None:
+                    task.shutdown()
+                new_node = self.alloc.take_spare()
+                if new_node is None:
+                    request = self.machine.rm.request_replacement()
+                    deadline = job.config.replacement_timeout
+                    if deadline is None:
+                        new_node = yield request
+                    else:
+                        from repro.simt.primitives import AnyOf
+
+                        idx, value = yield AnyOf(
+                            self.sim, [request, self.sim.timeout(deadline)]
+                        )
+                        if idx == 1:
+                            job.abort(FmiAbort(
+                                f"no replacement node granted within "
+                                f"{deadline}s (machine exhausted?)"
+                            ))
+                            return
+                        new_node = value
+                self.node_slots[slot] = new_node
+                yield self.sim.timeout(spec.proc_spawn_latency)  # start fmirun.task
+                incarnation = max(
+                    job.rank_procs[r].incarnation for r in ranks
+                ) + 1
+                self._start_task(slot, new_node, incarnation)
+            if job.epoch == target_epoch:
+                return
+
+    # -- dynamic leave (maintenance drain) ------------------------------------
+    def drain_slot(self, slot: int) -> None:
+        """Gracefully vacate a node ("compute nodes ... leave the job
+        dynamically", Section III-A).
+
+        The slot's ranks are migrated onto a replacement node through
+        the ordinary recovery machinery -- one rollback to the last
+        checkpoint, XOR rebuild of the leaving ranks' state -- and the
+        *healthy* node goes back to the resource manager's idle pool,
+        immediately available to other jobs (or as this job's next
+        replacement).
+        """
+        if self.job.finished:
+            raise RuntimeError("cannot drain a finished job")
+        task = self.tasks.get(slot)
+        node = self.node_slots[slot]
+        if task is None or task.failed or not node.alive:
+            raise RuntimeError(f"slot {slot} is not drainable")
+        for child in list(task.children):
+            if child.proc.alive:
+                child.proc.kill(cause=f"drain slot {slot}")
+                break  # the sibling-kill path takes down the rest
+        # The node is healthy; put it back in the pool once its guard
+        # process is gone (the child-death path killed it synchronously).
+        self.machine.rm.return_node(node)
+
+    # -- teardown ---------------------------------------------------------------
+    def shutdown(self) -> None:
+        for task in self.tasks.values():
+            task.shutdown()
+        if self.alloc is not None:
+            self.alloc.release()

@@ -1,0 +1,130 @@
+"""Pure XOR erasure-code math (no simulation, no timing).
+
+The scheme is SCR's level-1 XOR encoding (Section V-A / Figure 9),
+RAID-5 style with rotated parity:
+
+* a group of ``n`` ranks; rank ``r``'s checkpoint is split into
+  ``n - 1`` equal chunks ``C_r[0..n-2]``;
+* chunk ``m`` of rank ``r`` is assigned to *parity slot*
+  ``j = (r + 1 + m) mod n`` (never ``r`` itself), so each slot ``j``
+  receives exactly one chunk from every rank except ``j``;
+* rank ``j`` stores ``P_j = XOR of its slot's chunks`` -- an extra
+  ``s / (n-1)`` bytes, the 6.6 % memory overhead at group size 16 the
+  paper quotes.
+
+Losing any single rank ``f`` is repairable: chunk ``C_f[m]`` lives in
+slot ``j = (f+1+m) mod n`` and equals ``P_j`` XORed with the surviving
+chunks of that slot.
+
+These functions operate on :class:`~repro.fmi.payload.Payload` chunks;
+the timed engine (:mod:`repro.fmi.checkpoint`) moves the same chunks
+through the simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.fmi.payload import Payload
+
+__all__ = [
+    "slot_of_chunk",
+    "chunk_of_slot",
+    "split_into_chunks",
+    "compute_parity_slot",
+    "reconstruct_chunk",
+    "encode_group",
+    "reconstruct_rank",
+]
+
+
+def slot_of_chunk(rank: int, m: int, n: int) -> int:
+    """Parity slot holding chunk ``m`` of ``rank`` in a group of ``n``."""
+    if not 0 <= m < n - 1:
+        raise ValueError(f"chunk index {m} out of range for group size {n}")
+    return (rank + 1 + m) % n
+
+
+def chunk_of_slot(rank: int, j: int, n: int) -> int:
+    """Which chunk of ``rank`` lives in slot ``j`` (requires j != rank)."""
+    if j == rank:
+        raise ValueError("a rank contributes no chunk to its own slot")
+    return (j - rank - 1) % n
+
+
+def split_into_chunks(payload: Payload, n: int) -> List[Payload]:
+    """Split a (padded) checkpoint into the group's ``n - 1`` chunks."""
+    if n < 2:
+        raise ValueError("XOR group size must be >= 2")
+    return payload.split(n - 1)
+
+
+def compute_parity_slot(j: int, chunks_by_rank: Dict[int, List[Payload]], n: int) -> Payload:
+    """``P_j`` from every member's chunk assigned to slot ``j``."""
+    parity = None
+    for rank in range(n):
+        if rank == j:
+            continue
+        chunk = chunks_by_rank[rank][chunk_of_slot(rank, j, n)]
+        if parity is None:
+            parity = chunk.copy()
+        else:
+            parity.xor_inplace(chunk)
+    assert parity is not None
+    return parity
+
+
+def encode_group(payloads: Sequence[Payload]) -> List[Payload]:
+    """Parity slots ``P_0..P_{n-1}`` for a group's (padded) checkpoints.
+
+    Reference implementation used by tests and by the timed engine's
+    data plane.  Payload ``i`` belongs to group member ``i``.
+    """
+    n = len(payloads)
+    if n < 2:
+        raise ValueError("XOR group size must be >= 2")
+    lengths = {p.data.nbytes for p in payloads}
+    if len(lengths) != 1:
+        raise ValueError("group payloads must be padded to equal length")
+    chunks = {r: split_into_chunks(payloads[r], n) for r in range(n)}
+    return [compute_parity_slot(j, chunks, n) for j in range(n)]
+
+
+def reconstruct_chunk(
+    f: int, m: int, parity_j: Payload, chunks_by_rank: Dict[int, List[Payload]], n: int
+) -> Payload:
+    """Rebuild chunk ``m`` of failed rank ``f`` from slot ``j``'s
+    parity and the surviving chunks of that slot."""
+    j = slot_of_chunk(f, m, n)
+    out = parity_j.copy()
+    for rank in range(n):
+        if rank in (f, j):
+            continue
+        out.xor_inplace(chunks_by_rank[rank][chunk_of_slot(rank, j, n)])
+    return out
+
+
+def reconstruct_rank(
+    f: int,
+    survivor_payloads: Dict[int, Payload],
+    parity_slots: Dict[int, Payload],
+    n: int,
+    data_len: int,
+    nbytes: float,
+) -> Payload:
+    """Rebuild rank ``f``'s full (padded) checkpoint.
+
+    ``survivor_payloads`` maps every surviving member rank to its own
+    checkpoint; ``parity_slots`` maps slot index ``j`` to ``P_j`` for
+    the slots needed (all ``j != f``).
+    """
+    if f in survivor_payloads:
+        raise ValueError("failed rank listed among survivors")
+    if set(survivor_payloads) != set(range(n)) - {f}:
+        raise ValueError("need every survivor's checkpoint to reconstruct")
+    chunks = {r: split_into_chunks(p, n) for r, p in survivor_payloads.items()}
+    rebuilt = [
+        reconstruct_chunk(f, m, parity_slots[slot_of_chunk(f, m, n)], chunks, n)
+        for m in range(n - 1)
+    ]
+    return Payload.join(rebuilt, data_len=data_len, nbytes=nbytes)

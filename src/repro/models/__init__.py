@@ -1,0 +1,27 @@
+"""repro.models -- the paper's analytic models.
+
+* :mod:`~repro.models.cr_model` -- Section V-B checkpoint/restart time
+  (Figs 10-12 overlay curves).
+* :mod:`~repro.models.vaidya` -- checkpoint-interval optimisation from
+  MTBF (Section III-B's auto-tuning).
+* :mod:`~repro.models.availability` -- Fig 16: probability of running
+  24 h continuously.
+* :mod:`~repro.models.efficiency` -- Fig 17: multilevel-C/R efficiency
+  under scaled failure rates and level-2 costs.
+"""
+
+from repro.models.availability import prob_continuous_run, run_probability_curve
+from repro.models.cr_model import checkpoint_time, restart_time
+from repro.models.efficiency import multilevel_efficiency, single_level_efficiency
+from repro.models.vaidya import expected_runtime_factor, optimal_interval
+
+__all__ = [
+    "checkpoint_time",
+    "expected_runtime_factor",
+    "multilevel_efficiency",
+    "optimal_interval",
+    "prob_continuous_run",
+    "restart_time",
+    "run_probability_curve",
+    "single_level_efficiency",
+]

@@ -1,0 +1,48 @@
+"""Fig 16: probability of a continuous 24-hour run.
+
+Assuming Poisson failures, ``P(run T seconds) = exp(-lambda * T)``
+where ``lambda`` is the rate of failures the execution cannot survive:
+
+* without FMI, every failure is fatal: ``lambda = L1 + L2``;
+* with FMI (level-1 XOR C/R), only level-2 failures -- those XOR
+  cannot repair -- terminate the run: ``lambda = L2``.
+
+The paper scales the observed Coastal rates (L1 MTBF 130 h, L2 MTBF
+650 h) by a factor of 1..50 to project larger machines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.cluster.spec import COASTAL_L1_RATE, COASTAL_L2_RATE
+
+__all__ = ["prob_continuous_run", "run_probability_curve"]
+
+DAY_SECONDS = 24 * 3600.0
+
+
+def prob_continuous_run(rate_per_second: float, duration: float = DAY_SECONDS) -> float:
+    """``exp(-lambda T)`` for a Poisson fatal-failure process."""
+    if rate_per_second < 0 or duration < 0:
+        raise ValueError("rate and duration must be non-negative")
+    return math.exp(-rate_per_second * duration)
+
+
+def run_probability_curve(
+    scale_factors: Sequence[float],
+    l1_rate: float = COASTAL_L1_RATE,
+    l2_rate: float = COASTAL_L2_RATE,
+    duration: float = DAY_SECONDS,
+) -> List[Tuple[float, float, float]]:
+    """Rows of ``(scale, P(with FMI), P(without FMI))`` -- Fig 16's
+    two curves."""
+    rows = []
+    for f in scale_factors:
+        if f < 0:
+            raise ValueError("scale factors must be non-negative")
+        with_fmi = prob_continuous_run(f * l2_rate, duration)
+        without = prob_continuous_run(f * (l1_rate + l2_rate), duration)
+        rows.append((f, with_fmi, without))
+    return rows

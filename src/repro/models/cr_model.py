@@ -1,0 +1,64 @@
+"""Section V-B: the XOR checkpoint/restart time model.
+
+For ``s`` bytes of checkpoint data per rank in an XOR group of ``n``::
+
+    T_ckpt    = s/mem_bw  +  (s + s/(n-1))/net_bw  +  s/mem_bw
+    T_restart = T_ckpt    +  s/net_bw               (the Gather stage)
+
+The three checkpoint terms are the memcpy snapshot, the ring-pipelined
+parity transfer, and the XOR compute (memory-bound).  The model is
+independent of the *total* process count -- the paper's scalability
+argument for Fig 12 -- but when several ranks share a node their
+transfers share the NIC, so per-NODE quantities divide the node
+bandwidths accordingly (``procs_per_node`` parameter).
+"""
+
+from __future__ import annotations
+
+__all__ = ["checkpoint_time", "restart_time", "per_node_throughput"]
+
+
+def checkpoint_time(
+    s: float,
+    group_size: int,
+    mem_bw: float,
+    net_bw: float,
+    procs_per_node: int = 1,
+) -> float:
+    """Modelled level-1 checkpoint time for ``s`` bytes/rank.
+
+    ``procs_per_node`` ranks share the node's memory bus and NIC, so
+    effective per-rank bandwidths scale down by that factor (they all
+    checkpoint simultaneously).
+    """
+    if group_size < 2:
+        raise ValueError("group_size must be >= 2")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    mem = mem_bw / procs_per_node
+    net = net_bw / procs_per_node
+    transfer = s + s / (group_size - 1)
+    return s / mem + transfer / net + s / mem
+
+
+def restart_time(
+    s: float,
+    group_size: int,
+    mem_bw: float,
+    net_bw: float,
+    procs_per_node: int = 1,
+) -> float:
+    """Modelled restart time: decode mirrors encode, plus the gather of
+    the rebuilt ``s`` bytes to the newly launched rank."""
+    net = net_bw / procs_per_node
+    return checkpoint_time(s, group_size, mem_bw, net_bw, procs_per_node) + s / net
+
+
+def per_node_throughput(
+    s_per_node: float, group_size: int, mem_bw: float, net_bw: float, restart: bool = False
+) -> float:
+    """Checkpoint (or restart) bytes/s per node -- Fig 12's y-axis,
+    normalised per node.  Constant in the number of nodes."""
+    fn = restart_time if restart else checkpoint_time
+    t = fn(s_per_node, group_size, mem_bw, net_bw, procs_per_node=1)
+    return s_per_node / t

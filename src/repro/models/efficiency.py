@@ -1,0 +1,125 @@
+"""Fig 17: efficiency of multilevel C/R under scaled failure rates.
+
+Two nested renewal models:
+
+* **level 1** -- XOR C/R handles rate-``l1`` failures with checkpoint
+  cost ``c1`` and restart cost ``r1``; its efficiency ``e1`` comes from
+  the single-level factor (:mod:`repro.models.vaidya`) at the optimal
+  interval.
+* **level 2** -- rate-``l2`` failures destroy everything since the last
+  PFS checkpoint (cost ``c2``, restart ``r2``).  Useful work accrues at
+  rate ``e1`` between L2 checkpoints; the expected wall time of an L2
+  segment producing ``U`` useful seconds is
+  ``exp(l2*r2) * (exp(l2*(U/e1 + c2)) - 1) / l2``, optimised over ``U``.
+
+This reproduces the paper's qualitative result: if only level-1 rates
+grow, efficiency stays high (L1 C/R is cheap and constant-cost); if
+level-2 rates *and* level-2 cost both scale 50x with 10 GB/node
+checkpoints, ``l2 * c2`` approaches/exceeds 1 and efficiency collapses
+below a few percent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.models.vaidya import expected_runtime_factor, optimal_interval
+
+__all__ = ["single_level_efficiency", "multilevel_efficiency"]
+
+
+def single_level_efficiency(ckpt_cost: float, mtbf: float, restart_cost: float = 0.0) -> float:
+    """Best-case efficiency (useful/wall) of one C/R level."""
+    if ckpt_cost == 0.0:
+        return 1.0
+    t = optimal_interval(ckpt_cost, mtbf, restart_cost)
+    factor = expected_runtime_factor(t, ckpt_cost, mtbf, restart_cost)
+    return 1.0 / factor
+
+
+def multilevel_efficiency(
+    c1: float,
+    r1: float,
+    l1: float,
+    c2: float,
+    r2: float,
+    l2: float,
+    level2_vulnerable: bool = True,
+) -> float:
+    """Efficiency of the combined L1 (XOR) + L2 (PFS) scheme.
+
+    ``c``/``r`` are checkpoint/restart costs in seconds, ``l`` are
+    failure rates per second.  Failures of either level during an L2
+    segment are accounted: level-1 ones through ``e1``, level-2 ones
+    through the outer renewal term.
+
+    With ``level2_vulnerable`` (default), the long PFS write itself is
+    exposed to the *combined* failure rate -- any failure during the
+    write aborts and restarts it (after a cheap L1 recovery).  Once the
+    PFS write time approaches the machine MTBF this term explodes,
+    which is the mechanism behind Fig 17's efficiency collapse when
+    both failure rates and 10 GB/node level-2 costs scale 50x.
+    """
+    for name, v in (("c1", c1), ("r1", r1), ("c2", c2), ("r2", r2)):
+        if v < 0:
+            raise ValueError(f"{name} must be >= 0")
+    if l1 < 0 or l2 < 0:
+        raise ValueError("failure rates must be >= 0")
+
+    e1 = single_level_efficiency(c1, 1.0 / l1, r1) if l1 > 0 else 1.0
+    if l2 == 0:
+        return e1
+
+    # Expected wall time of one L2 checkpoint write.
+    l_all = l1 + l2
+    if level2_vulnerable and c2 > 0 and l_all > 0:
+        x = l_all * c2
+        if x > 700:
+            return 0.0
+        write_time = math.exp(l_all * r1) * (math.exp(x) - 1.0) / l_all
+        # An L2 *recovery* rereads the dataset under the same exposure.
+        x_r = l_all * r2
+        recover_time = (
+            math.exp(l_all * r1) * (math.exp(x_r) - 1.0) / l_all
+            if 0 < x_r <= 700
+            else (r2 if x_r == 0 else math.inf)
+        )
+        if not math.isfinite(recover_time):
+            return 0.0
+    else:
+        write_time = c2
+        recover_time = r2
+
+    # Outer level: choose U (useful seconds per L2 segment) to minimise
+    # expected wall per useful second.
+    def outer_factor(useful: float) -> float:
+        wall_nofail = useful / e1 + write_time
+        x = l2 * wall_nofail
+        if x > 700:
+            return math.inf
+        return math.exp(l2 * recover_time) * (math.exp(x) - 1.0) / (l2 * useful)
+
+    # Golden-section over U, bracketed around the Young-style estimate
+    # for the outer level (using effective cost c2*e1 in useful time).
+    guess = math.sqrt(2.0 * max(write_time, 1e-9) * e1 / l2)
+    lo, hi = max(1e-6, 1e-3 * guess), max(1e3 * guess, 10.0 * write_time * e1 + 1.0)
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = outer_factor(c), outer_factor(d)
+    for _ in range(200):
+        if b - a < 1e-9 * max(1.0, b):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = outer_factor(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = outer_factor(d)
+    best = outer_factor(0.5 * (a + b))
+    if not math.isfinite(best):
+        return 0.0
+    return 1.0 / best

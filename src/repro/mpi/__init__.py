@@ -1,0 +1,30 @@
+"""repro.mpi -- a fail-stop MPI baseline on the simulated cluster.
+
+This is the comparison system of the paper's evaluation: MVAPICH2-like
+messaging (Table III), SLURM-launched jobs whose *every* process dies
+on any node failure, ``mpirun``-style relaunch, and the SCR multilevel
+checkpointing library (:mod:`repro.mpi.scr`) writing through the
+filesystem.
+
+The per-rank API (:class:`~repro.mpi.api.MpiApi`) and the collective
+algorithms (:mod:`~repro.mpi.collectives`) are shared with FMI --
+"FMI provides message-passing semantics similar to MPI" -- the FMI
+context subclasses the same base.
+"""
+
+from repro.mpi.api import MpiApi, ParallelApi
+from repro.mpi.communicator import Communicator
+from repro.mpi.ops import MAX, MIN, PROD, SUM
+from repro.mpi.runtime import JobAborted, MpiJob
+
+__all__ = [
+    "Communicator",
+    "JobAborted",
+    "MAX",
+    "MIN",
+    "MpiApi",
+    "MpiJob",
+    "PROD",
+    "ParallelApi",
+    "SUM",
+]

@@ -1,0 +1,205 @@
+"""Per-rank messaging APIs.
+
+:class:`ParallelApi` is the shared machinery (send/recv through the
+transport, communicators, collectives, compute charging); MPI and FMI
+specialise it:
+
+* :class:`MpiApi` routes through a static rank→address table (MPI's
+  rank *is* the process) and stamps every envelope with epoch 0.
+* ``FmiContext`` (in :mod:`repro.fmi.api`) routes through the job's
+  *current* endpoint table, stamps the current recovery epoch, and
+  checks the failure-notification flag before every operation -- the
+  "all FMI communication calls return an error until recovery" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fmi.payload import Payload
+from repro.mpi.communicator import WORLD_ID, Communicator
+from repro.mpi.datatypes import sizeof
+from repro.net.matching import ANY_SOURCE, ANY_TAG
+from repro.net.message import Envelope
+from repro.net.transport import NetContext, Transport
+
+__all__ = ["ParallelApi", "MpiApi", "Request"]
+
+
+class Request:
+    """Handle on a non-blocking operation (MPI_Request).
+
+    ``yield from req.wait()`` completes it (returning received data for
+    an ``irecv``); :meth:`done` polls without blocking (MPI_Test).
+    """
+
+    __slots__ = ("event", "_is_recv")
+
+    def __init__(self, event, is_recv: bool):
+        self.event = event
+        self._is_recv = is_recv
+
+    def done(self) -> bool:
+        return self.event.processed
+
+    def wait(self):
+        result = yield self.event
+        if self._is_recv:
+            return result.data  # Envelope -> payload
+        return None
+
+    @staticmethod
+    def waitall(requests):
+        """``yield from Request.waitall(reqs)`` -> list of results."""
+        out = []
+        for req in requests:
+            out.append((yield from req.wait()))
+        return out
+
+
+def _snapshot(data: Any) -> Any:
+    """Copy mutable buffers at send time (buffered-send semantics)."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, Payload):
+        return data.copy()
+    return data
+
+
+class ParallelApi:
+    """Common per-rank API: what MPI and FMI semantics share."""
+
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(self, transport: Transport, ctx: NetContext,
+                 world_rank: int, world_size: int):
+        self.transport = transport
+        self.sim = transport.sim
+        self.ctx = ctx
+        self.node = ctx.node
+        self.world_rank = world_rank
+        self.world_size = world_size
+        self._comm_seq = WORLD_ID
+        self.world = Communicator(self, WORLD_ID, list(range(world_size)))
+        #: bytes sent by this rank (observability)
+        self.bytes_sent = 0.0
+        self.msgs_sent = 0
+
+    # -- specialisation hooks -----------------------------------------------
+    def _check_ok(self) -> None:
+        """Raise if communication is currently forbidden (FMI hook)."""
+
+    def _epoch(self) -> int:
+        return 0
+
+    def _route(self, world_rank: int) -> Tuple[int, int]:
+        """World rank -> transport address.  Must be overridden."""
+        raise NotImplementedError
+
+    # -- plumbing used by Communicator -----------------------------------------
+    def _next_comm_id(self) -> int:
+        self._comm_seq += 1
+        return self._comm_seq
+
+    def _send(self, comm: Communicator, dst: int, data: Any,
+              nbytes: Optional[float], tag: int):
+        self._check_ok()
+        if not 0 <= dst < comm.size:
+            raise ValueError(f"destination rank {dst} out of range")
+        size = sizeof(data) if nbytes is None else float(nbytes)
+        env = Envelope(
+            src=comm.rank, dst=dst, tag=tag, comm_id=comm.id,
+            epoch=self._epoch(), nbytes=size, data=_snapshot(data),
+        )
+        self.bytes_sent += size
+        self.msgs_sent += 1
+        return self.transport.send(self.ctx, self._route(comm.translate(dst)), env)
+
+    def _post_recv(self, comm: Communicator, source: int, tag: int):
+        self._check_ok()
+        return self.ctx.matching.post(source, tag, comm.id)
+
+    # -- world-communicator sugar -----------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.world_rank
+
+    @property
+    def size(self) -> int:
+        return self.world_size
+
+    def send(self, dst: int, data: Any, nbytes: Optional[float] = None,
+             tag: int = 0):
+        return self.world.send_async(dst, data, nbytes, tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        return self.world.recv(source, tag)
+
+    def sendrecv(self, dst: int, data: Any, source: int = ANY_SOURCE,
+                 nbytes: Optional[float] = None, tag: int = 0):
+        return self.world.sendrecv(dst, data, source, nbytes, tag)
+
+    def isend(self, dst: int, data: Any, nbytes: Optional[float] = None,
+              tag: int = 0) -> Request:
+        """Non-blocking send; complete with ``yield from req.wait()``."""
+        return Request(self.world.send_async(dst, data, nbytes, tag), is_recv=False)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` returns the payload."""
+        return Request(self.world.post_recv(source, tag), is_recv=True)
+
+    def barrier(self):
+        return self.world.barrier()
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes=None):
+        return self.world.bcast(value, root, nbytes)
+
+    def reduce(self, value: Any, op=None, root: int = 0, nbytes=None):
+        return self.world.reduce(value, op, root, nbytes)
+
+    def allreduce(self, value: Any, op=None, nbytes=None):
+        return self.world.allreduce(value, op, nbytes)
+
+    def gather(self, value: Any, root: int = 0, nbytes=None):
+        return self.world.gather(value, root, nbytes)
+
+    def allgather(self, value: Any, nbytes=None):
+        return self.world.allgather(value, nbytes)
+
+    def scatter(self, values=None, root: int = 0, nbytes=None):
+        return self.world.scatter(values, root, nbytes)
+
+    def alltoall(self, values, nbytes=None):
+        return self.world.alltoall(values, nbytes)
+
+    # -- local work -----------------------------------------------------------
+    def compute(self, flops: float):
+        """Event charging ``flops`` of stencil-grade compute time."""
+        return self.node.compute(flops)
+
+    def elapse(self, seconds: float):
+        """Event charging raw wall time (I/O waits, sleeps...)."""
+        return self.sim.timeout(seconds)
+
+    def memcpy(self, nbytes: float):
+        return self.node.memcpy(nbytes)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class MpiApi(ParallelApi):
+    """The fail-stop MPI flavour: static routing, epoch always 0."""
+
+    def __init__(self, transport: Transport, ctx: NetContext,
+                 world_rank: int, world_size: int,
+                 addr_table: Dict[int, Tuple[int, int]]):
+        super().__init__(transport, ctx, world_rank, world_size)
+        self._addr_table = addr_table
+
+    def _route(self, world_rank: int) -> Tuple[int, int]:
+        return self._addr_table[world_rank]

@@ -1,0 +1,333 @@
+"""Collective algorithms over a communicator.
+
+Real message-passing algorithms (not analytic shortcuts): the cost of a
+collective emerges from the individual messages moving through the
+simulated fabric, so log-scaling, NIC contention and message-size
+effects come out of the same calibrated constants as everything else.
+
+Algorithms (the usual MPICH choices):
+
+* ``bcast``      -- binomial tree
+* ``reduce``     -- binomial tree (commutative ops)
+* ``allreduce``  -- recursive doubling with the standard fold-in
+                    pre/post steps for non-power-of-two sizes
+* ``barrier``    -- dissemination
+* ``gather``     -- binomial tree
+* ``allgather``  -- ring
+* ``scatter``    -- linear from root (small comms only in our apps)
+* ``alltoall``   -- ring-schedule pairwise exchange
+
+Every function is a generator to drive with ``yield from``; the comm
+object supplies ``rank``, ``size``, ``send_async(dst, data, nbytes,
+tag)`` and ``post_recv(src, tag)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.mpi.datatypes import sizeof
+from repro.mpi.ops import SUM
+
+__all__ = [
+    "bcast",
+    "reduce",
+    "allreduce",
+    "barrier",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "allreduce_hier",
+    "TAG_BCAST",
+    "TAG_REDUCE",
+    "TAG_ALLREDUCE",
+    "TAG_BARRIER",
+    "TAG_GATHER",
+    "TAG_ALLGATHER",
+    "TAG_SCATTER",
+    "TAG_ALLTOALL",
+]
+
+# Reserved tag space, far above anything applications use.  Collectives
+# of the same kind on the same communicator match FIFO pairwise, so a
+# single tag per kind is safe (the usual MPI-internals trick).
+_BASE = 1 << 24
+TAG_BCAST = _BASE + 1
+TAG_REDUCE = _BASE + 2
+TAG_ALLREDUCE = _BASE + 3
+TAG_BARRIER = _BASE + 4
+TAG_GATHER = _BASE + 5
+TAG_ALLGATHER = _BASE + 6
+TAG_SCATTER = _BASE + 7
+TAG_ALLTOALL = _BASE + 8
+TAG_HIER_UP = _BASE + 9
+TAG_HIER_DOWN = _BASE + 10
+
+_TINY = 4.0  # bytes of a zero-payload control message
+
+
+def _nbytes(data: Any, nbytes: Optional[float]) -> float:
+    return sizeof(data) if nbytes is None else float(nbytes)
+
+
+def bcast(comm, value: Any = None, root: int = 0, nbytes: Optional[float] = None):
+    """Binomial-tree broadcast; returns the root's value everywhere."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (relative - mask + root) % size
+            env = yield comm.post_recv(src, TAG_BCAST)
+            value = env.data
+            nbytes = env.nbytes
+            break
+        mask <<= 1
+    if nbytes is None:
+        nbytes = sizeof(value)
+    mask >>= 1
+    while mask >= 1:
+        if relative + mask < size:
+            dst = (relative + mask + root) % size
+            yield comm.send_async(dst, value, nbytes, TAG_BCAST)
+        mask >>= 1
+    return value
+
+
+def reduce(comm, value: Any, op: Callable = SUM, root: int = 0,
+           nbytes: Optional[float] = None):
+    """Binomial-tree reduction; returns the result at root, None elsewhere."""
+    size, rank = comm.size, comm.rank
+    nbytes = _nbytes(value, nbytes)
+    if size == 1:
+        return value
+    relative = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (relative - mask + root) % size
+            yield comm.send_async(dst, acc, nbytes, TAG_REDUCE)
+            return None
+        src_rel = relative + mask
+        if src_rel < size:
+            env = yield comm.post_recv((src_rel + root) % size, TAG_REDUCE)
+            acc = op(acc, env.data)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm, value: Any, op: Callable = SUM, nbytes: Optional[float] = None):
+    """Recursive-doubling allreduce (handles non-power-of-two sizes)."""
+    size, rank = comm.size, comm.rank
+    nbytes = _nbytes(value, nbytes)
+    if size == 1:
+        return value
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    acc = value
+    newrank = -1
+    # Fold the first 2*rem ranks pairwise so pof2 participants remain.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield comm.send_async(rank + 1, acc, nbytes, TAG_ALLREDUCE)
+            newrank = -1  # spectator until the post-step
+        else:
+            env = yield comm.post_recv(rank - 1, TAG_ALLREDUCE)
+            acc = op(acc, env.data)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1:
+        def realrank(nr: int) -> int:
+            return nr * 2 + 1 if nr < rem else nr + rem
+
+        mask = 1
+        while mask < pof2:
+            partner = realrank(newrank ^ mask)
+            recv_evt = comm.post_recv(partner, TAG_ALLREDUCE)
+            yield comm.send_async(partner, acc, nbytes, TAG_ALLREDUCE)
+            env = yield recv_evt
+            acc = op(acc, env.data)
+            mask <<= 1
+
+    # Post-step: odd folded ranks push the result back to their pair.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield comm.send_async(rank - 1, acc, nbytes, TAG_ALLREDUCE)
+        else:
+            env = yield comm.post_recv(rank + 1, TAG_ALLREDUCE)
+            acc = env.data
+    return acc
+
+
+def barrier(comm):
+    """Dissemination barrier: ceil(log2 n) rounds of tiny messages."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    mask = 1
+    while mask < size:
+        dst = (rank + mask) % size
+        src = (rank - mask) % size
+        recv_evt = comm.post_recv(src, TAG_BARRIER)
+        yield comm.send_async(dst, None, _TINY, TAG_BARRIER)
+        yield recv_evt
+        mask <<= 1
+
+
+def gather(comm, value: Any, root: int = 0, nbytes: Optional[float] = None):
+    """Binomial-tree gather; root returns the list ordered by rank."""
+    size, rank = comm.size, comm.rank
+    nbytes = _nbytes(value, nbytes)
+    items = {rank: value}
+    if size == 1:
+        return [value]
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (relative - mask + root) % size
+            yield comm.send_async(dst, items, nbytes * len(items), TAG_GATHER)
+            return None
+        src_rel = relative + mask
+        if src_rel < size:
+            env = yield comm.post_recv((src_rel + root) % size, TAG_GATHER)
+            items.update(env.data)
+        mask <<= 1
+    return [items[r] for r in range(size)]
+
+
+def allgather(comm, value: Any, nbytes: Optional[float] = None):
+    """Ring allgather: size-1 steps, each forwarding one block."""
+    size, rank = comm.size, comm.rank
+    nbytes = _nbytes(value, nbytes)
+    blocks: List[Any] = [None] * size
+    blocks[rank] = value
+    if size == 1:
+        return blocks
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_block = rank
+    for _step in range(size - 1):
+        recv_evt = comm.post_recv(left, TAG_ALLGATHER)
+        yield comm.send_async(right, (send_block, blocks[send_block]), nbytes, TAG_ALLGATHER)
+        env = yield recv_evt
+        idx, blk = env.data
+        blocks[idx] = blk
+        send_block = idx
+    return blocks
+
+
+def scatter(comm, values: Optional[List[Any]] = None, root: int = 0,
+            nbytes: Optional[float] = None):
+    """Root sends item i to rank i (linear; fine for small comms)."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError("root must pass one value per rank")
+        per = _nbytes(values[0], nbytes)
+        for dst in range(size):
+            if dst != root:
+                yield comm.send_async(dst, values[dst], per, TAG_SCATTER)
+        return values[root]
+    env = yield comm.post_recv(root, TAG_SCATTER)
+    return env.data
+
+
+def allreduce_hier(comm, value: Any, op: Callable = SUM,
+                   nbytes: Optional[float] = None,
+                   procs_per_node: int = 1):
+    """Topology-aware allreduce: reduce to a per-node leader through
+    shared memory, recursive-double among leaders over the fabric,
+    then broadcast back intra-node.
+
+    With block rank placement (ranks ``i*P..i*P+P-1`` on node ``i``)
+    this sends only one fabric message per node per round -- the
+    standard optimisation for fat nodes, and what keeps the event count
+    sane for 1,536-process simulations.
+    """
+    size, rank = comm.size, comm.rank
+    nbytes = _nbytes(value, nbytes)
+    P = max(1, procs_per_node)
+    if P == 1 or size <= P:
+        result = yield from allreduce(comm, value, op, nbytes)
+        return result
+    if size % P != 0:
+        raise ValueError("size must be a multiple of procs_per_node")
+    leader = (rank // P) * P
+    acc = value
+    if rank != leader:
+        yield comm.send_async(leader, acc, nbytes, TAG_HIER_UP)
+    else:
+        for _ in range(P - 1):
+            env = yield comm.post_recv(-1, TAG_HIER_UP)  # ANY_SOURCE
+            acc = op(acc, env.data)
+        # Inter-node recursive doubling among the leaders.
+        leaders = list(range(0, size, P))
+        my_idx = leaders.index(rank)
+        n_lead = len(leaders)
+        pof2 = 1
+        while pof2 * 2 <= n_lead:
+            pof2 *= 2
+        rem = n_lead - pof2
+        newidx = -1
+        if my_idx < 2 * rem:
+            if my_idx % 2 == 0:
+                yield comm.send_async(leaders[my_idx + 1], acc, nbytes, TAG_ALLREDUCE)
+            else:
+                env = yield comm.post_recv(leaders[my_idx - 1], TAG_ALLREDUCE)
+                acc = op(acc, env.data)
+                newidx = my_idx // 2
+        else:
+            newidx = my_idx - rem
+        if newidx != -1:
+            def real(ni: int) -> int:
+                return leaders[ni * 2 + 1] if ni < rem else leaders[ni + rem]
+
+            mask = 1
+            while mask < pof2:
+                partner = real(newidx ^ mask)
+                recv_evt = comm.post_recv(partner, TAG_ALLREDUCE)
+                yield comm.send_async(partner, acc, nbytes, TAG_ALLREDUCE)
+                env = yield recv_evt
+                acc = op(acc, env.data)
+                mask <<= 1
+        if my_idx < 2 * rem:
+            if my_idx % 2 == 1:
+                yield comm.send_async(leaders[my_idx - 1], acc, nbytes, TAG_ALLREDUCE)
+            else:
+                env = yield comm.post_recv(leaders[my_idx + 1], TAG_ALLREDUCE)
+                acc = env.data
+        # Intra-node broadcast back to my P-1 locals.
+        for local in range(leader + 1, leader + P):
+            yield comm.send_async(local, acc, nbytes, TAG_HIER_DOWN)
+    if rank != leader:
+        env = yield comm.post_recv(leader, TAG_HIER_DOWN)
+        acc = env.data
+    return acc
+
+
+def alltoall(comm, values: List[Any], nbytes: Optional[float] = None):
+    """Pairwise exchange on a ring schedule; values[i] goes to rank i."""
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise ValueError("alltoall needs one value per rank")
+    per = _nbytes(values[0], nbytes)
+    result: List[Any] = [None] * size
+    result[rank] = values[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        recv_evt = comm.post_recv(src, TAG_ALLTOALL)
+        yield comm.send_async(dst, values[dst], per, TAG_ALLTOALL)
+        env = yield recv_evt
+        result[src] = env.data
+    return result

@@ -1,0 +1,123 @@
+"""Communicators: ordered groups of ranks with an id for matching.
+
+A communicator holds *logical* ranks; translation to a physical
+process address happens at send time through the owning API's routing
+table.  That indirection is exactly what FMI virtualises: after a
+recovery the same communicator object keeps working because only the
+route changed (Section IV-D, "Transparent Communicator Recovery").
+
+``dup``/``split`` are collective generators.  Context ids are assigned
+from a per-process counter; since communicator creation is collective
+and SPMD programs execute those calls in the same global order, every
+member derives the same id -- the standard MPI context-id argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.mpi import collectives
+from repro.net.matching import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Communicator"]
+
+WORLD_ID = 0
+
+
+class Communicator:
+    """An ordered rank group bound to one :class:`ParallelApi`."""
+
+    def __init__(self, api, comm_id: int, members: List[int]):
+        if api.world_rank not in members:
+            raise ValueError("cannot build a communicator I am not a member of")
+        self.api = api
+        self.id = comm_id
+        self.members = list(members)
+        self.rank = self.members.index(api.world_rank)
+        self.size = len(self.members)
+
+    # -- point-to-point (events) ------------------------------------------
+    def send_async(self, dst: int, data: Any, nbytes: Optional[float] = None,
+                   tag: int = 0):
+        """Event firing when the message has been moved (buffered send)."""
+        return self.api._send(self, dst, data, nbytes, tag)
+
+    def post_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Event firing with the matching :class:`Envelope`."""
+        return self.api._post_recv(self, source, tag)
+
+    # -- point-to-point (generators) ----------------------------------------
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """``data = yield from comm.recv(src)``"""
+        env = yield self.post_recv(source, tag)
+        return env.data
+
+    def sendrecv(self, dst: int, data: Any, source: int = ANY_SOURCE,
+                 nbytes: Optional[float] = None, tag: int = 0):
+        """Concurrent send+receive (deadlock-free ring/halo building block)."""
+        recv_evt = self.post_recv(source, tag)
+        send_evt = self.send_async(dst, data, nbytes, tag)
+        env = yield recv_evt
+        yield send_evt
+        return env.data
+
+    # -- collectives (generators) ----------------------------------------------
+    def barrier(self):
+        return collectives.barrier(self)
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: Optional[float] = None):
+        return collectives.bcast(self, value, root, nbytes)
+
+    def reduce(self, value: Any, op=None, root: int = 0, nbytes=None):
+        from repro.mpi.ops import SUM
+
+        return collectives.reduce(self, value, op or SUM, root, nbytes)
+
+    def allreduce(self, value: Any, op=None, nbytes: Optional[float] = None):
+        from repro.mpi.ops import SUM
+
+        return collectives.allreduce(self, value, op or SUM, nbytes)
+
+    def gather(self, value: Any, root: int = 0, nbytes=None):
+        return collectives.gather(self, value, root, nbytes)
+
+    def allgather(self, value: Any, nbytes: Optional[float] = None):
+        return collectives.allgather(self, value, nbytes)
+
+    def scatter(self, values=None, root: int = 0, nbytes=None):
+        return collectives.scatter(self, values, root, nbytes)
+
+    def alltoall(self, values, nbytes: Optional[float] = None):
+        return collectives.alltoall(self, values, nbytes)
+
+    # -- construction of derived communicators ------------------------------------
+    def dup(self):
+        """Collective duplicate (same members, fresh context id)."""
+        yield from self.barrier()  # the agreement round
+        new_id = self.api._next_comm_id()
+        return Communicator(self.api, new_id, self.members)
+
+    def split(self, color: Optional[int], key: Optional[int] = None):
+        """Collective split by ``color``; rank order within each child
+        follows ``(key, old rank)``.  ``color=None`` opts out
+        (returns ``None``)."""
+        me = (color, self.rank if key is None else key, self.rank)
+        entries = yield from self.allgather(me, nbytes=24.0)
+        seq = self.api._next_comm_id()
+        if color is None:
+            return None
+        colors = sorted({c for c, _k, _r in entries if c is not None})
+        color_index = colors.index(color)
+        mine = sorted(
+            (k, r) for c, k, r in entries if c == color
+        )
+        members = [self.members[r] for _k, r in mine]
+        new_id = (seq << 20) | color_index
+        return Communicator(self.api, new_id, members)
+
+    def translate(self, local_rank: int) -> int:
+        """Local rank -> world rank."""
+        return self.members[local_rank]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Comm id={self.id} rank={self.rank}/{self.size}>"

@@ -1,0 +1,38 @@
+"""Wire-size estimation for message payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmi.payload import Payload
+
+__all__ = ["sizeof"]
+
+#: envelope/marshalling overhead assumed for small Python objects
+_DEFAULT_OBJECT_BYTES = 64.0
+
+
+def sizeof(data) -> float:
+    """Bytes this object occupies on the wire.
+
+    Used when the caller does not pass an explicit ``nbytes``.  NumPy
+    arrays and :class:`Payload` report exactly; scalars count 8 bytes;
+    containers sum their items; anything else gets a flat estimate.
+    """
+    if isinstance(data, Payload):
+        return data.nbytes
+    if isinstance(data, np.ndarray):
+        return float(data.nbytes)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return float(len(data))
+    if isinstance(data, (bool, type(None))):
+        return 1.0
+    if isinstance(data, (int, float, complex, np.integer, np.floating)):
+        return 8.0
+    if isinstance(data, str):
+        return float(len(data.encode()))
+    if isinstance(data, dict):
+        return sum(sizeof(k) + sizeof(v) for k, v in data.items()) or 8.0
+    if isinstance(data, (list, tuple, set, frozenset)):
+        return sum(sizeof(item) for item in data) or 8.0
+    return _DEFAULT_OBJECT_BYTES

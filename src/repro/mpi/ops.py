@@ -1,0 +1,29 @@
+"""Reduction operators for collectives.
+
+Operators are plain binary callables; they must be associative and
+commutative (the recursive-doubling allreduce combines in
+topology-dependent order).  NumPy arrays combine elementwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SUM", "MAX", "MIN", "PROD", "LOR", "LAND"]
+
+
+def _elementwise(scalar_fn, array_fn):
+    def op(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return array_fn(a, b)
+        return scalar_fn(a, b)
+
+    return op
+
+
+SUM = _elementwise(lambda a, b: a + b, np.add)
+PROD = _elementwise(lambda a, b: a * b, np.multiply)
+MAX = _elementwise(max, np.maximum)
+MIN = _elementwise(min, np.minimum)
+LOR = _elementwise(lambda a, b: bool(a) or bool(b), np.logical_or)
+LAND = _elementwise(lambda a, b: bool(a) and bool(b), np.logical_and)

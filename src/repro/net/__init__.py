@@ -1,0 +1,49 @@
+"""repro.net -- the communication substrate shared by MPI and FMI.
+
+Mirrors the split in the paper's implementation:
+
+* :mod:`~repro.net.transport` -- a PSM-like low-latency messaging layer
+  (send/deliver through the fabric).  Exactly as the paper observes of
+  PSM, it does **not** detect peer failures after connection
+  establishment; messages to dead processes silently vanish.
+* :mod:`~repro.net.matching` -- the MPI-style (source, tag) matching
+  engine with an unexpected-message queue, modelled on Open MPI's
+  Matching Transfer Layer.
+* :mod:`~repro.net.endpoint` -- ibverbs-like reliable connections whose
+  *only* runtime role here is event-driven disconnect notification --
+  the raw material of the log-ring failure detector.
+* :mod:`~repro.net.overlay` -- overlay-graph construction (ring,
+  complete, log-ring) and notification-propagation analysis.
+* :mod:`~repro.net.pmgr` -- PMGR-style bootstrap rendezvous used by
+  both ``FMI_Init`` and recovery re-bootstrap.
+"""
+
+from repro.net.endpoint import Connection, ConnectionManager
+from repro.net.matching import ANY_SOURCE, ANY_TAG, MatchingEngine
+from repro.net.message import Envelope
+from repro.net.overlay import (
+    complete_neighbors,
+    logring_neighbors,
+    notification_hops,
+    notification_schedule,
+    ring_neighbors,
+)
+from repro.net.pmgr import PmgrRendezvous
+from repro.net.transport import NetContext, Transport
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Connection",
+    "ConnectionManager",
+    "Envelope",
+    "MatchingEngine",
+    "NetContext",
+    "PmgrRendezvous",
+    "Transport",
+    "complete_neighbors",
+    "logring_neighbors",
+    "notification_hops",
+    "notification_schedule",
+    "ring_neighbors",
+]

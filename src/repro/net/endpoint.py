@@ -1,0 +1,142 @@
+"""ibverbs-like reliable connections with disconnect events.
+
+The paper's failure-detection substrate: the ibverbs library raises an
+event on every connection to a process that terminates, ~0.2 s after
+the death (Section VI-A).  Surviving processes can also close their
+own connections *explicitly*, which their peers observe after a small
+per-hop delay -- the mechanism the log-ring uses to cascade a failure
+notification across the machine in ceil(ceil(log2 n)/2) hops.
+
+Only the detector uses these connections; bulk data rides the PSM-like
+transport, which (as on the real hardware) reports nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+
+__all__ = ["Connection", "ConnectionManager"]
+
+#: disconnect callback: (connection, peer_key, reason)
+DisconnectCb = Callable[["Connection", Any, str], None]
+
+
+class Connection:
+    """A reliable connection between two endpoint owners.
+
+    Owners are identified by opaque hashable keys (the FMI layer uses
+    ``(rank, incarnation)``); each side registers a disconnect callback.
+    """
+
+    def __init__(self, mgr: "ConnectionManager", key_a: Any, node_a: Node,
+                 key_b: Any, node_b: Node):
+        self.mgr = mgr
+        self.ends: Tuple[Any, Any] = (key_a, key_b)
+        self.nodes: Dict[Any, Node] = {key_a: node_a, key_b: node_b}
+        self._cbs: Dict[Any, DisconnectCb] = {}
+        self.open = True
+
+    def peer_of(self, key: Any) -> Any:
+        a, b = self.ends
+        return b if key == a else a
+
+    def on_disconnect(self, key: Any, callback: DisconnectCb) -> None:
+        """Register ``key``'s handler for this connection breaking."""
+        self._cbs[key] = callback
+
+    # -- breaking ----------------------------------------------------------
+    def close_from(self, key: Any, reason: str = "explicit-close") -> None:
+        """``key`` closes the connection; its peer is notified after
+        the per-hop notification delay."""
+        if not self.open:
+            return
+        self.open = False
+        self.mgr._forget(self)
+        peer = self.peer_of(key)
+        self.mgr._notify(self, peer, reason, self.mgr.hop_delay)
+
+    def close_silent(self) -> None:
+        """Tear down without notifying anyone (overlay rebuild: both
+        sides are already re-entering H1 and replace their edges)."""
+        if not self.open:
+            return
+        self.open = False
+        self.mgr._forget(self)
+
+    def break_by_owner_death(self, dead_key: Any, reason: str) -> None:
+        """The process behind ``dead_key`` died (without its node
+        dying); the peer hears after the ibverbs close delay, exactly
+        like a node death."""
+        if not self.open:
+            return
+        self.open = False
+        self.mgr._forget(self)
+        peer = self.peer_of(dead_key)
+        node = self.nodes[peer]
+        if node.alive:
+            self.mgr._notify(self, peer, reason, self.mgr.close_delay)
+
+    def _break_by_death(self, dead_node: Node, reason: str) -> None:
+        """A node died; the surviving side learns after the ibverbs delay."""
+        if not self.open:
+            return
+        self.open = False
+        self.mgr._forget(self)
+        for key, node in self.nodes.items():
+            if node is not dead_node and node.alive:
+                self.mgr._notify(self, key, reason, self.mgr.close_delay)
+
+
+class ConnectionManager:
+    """Tracks connections and turns node deaths into disconnect events."""
+
+    def __init__(self, machine: Machine):
+        self.sim = machine.sim
+        self.machine = machine
+        net = machine.spec.network
+        self.close_delay = net.ibverbs_close_delay
+        self.hop_delay = net.notify_hop_delay
+        self.connect_cost = net.overlay_connect_cost
+        self._by_node: Dict[int, Set[Connection]] = {}
+        self._all: Set[Connection] = set()
+        machine.on_node_death(self._on_node_death)
+
+    # -- establishment ----------------------------------------------------
+    def connect(self, key_a: Any, node_a: Node, key_b: Any, node_b: Node) -> Connection:
+        """Create a connection (instantaneous bookkeeping; callers charge
+        ``connect_cost`` simulated time themselves, since they may
+        pipeline several establishments)."""
+        if not (node_a.alive and node_b.alive):
+            raise ConnectionError("cannot connect: endpoint node is down")
+        conn = Connection(self, key_a, node_a, key_b, node_b)
+        self._all.add(conn)
+        self._by_node.setdefault(node_a.id, set()).add(conn)
+        self._by_node.setdefault(node_b.id, set()).add(conn)
+        return conn
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._all)
+
+    # -- plumbing ------------------------------------------------------------
+    def _forget(self, conn: Connection) -> None:
+        self._all.discard(conn)
+        for node in conn.nodes.values():
+            bucket = self._by_node.get(node.id)
+            if bucket is not None:
+                bucket.discard(conn)
+
+    def _notify(self, conn: Connection, key: Any, reason: str, delay: float) -> None:
+        cb = conn._cbs.get(key)
+        if cb is None:
+            return
+        timer = self.sim.timeout(delay)
+        timer.callbacks.append(lambda _e: cb(conn, key, reason))
+
+    def _on_node_death(self, node: Node, cause: Any) -> None:
+        conns: List[Connection] = list(self._by_node.get(node.id, ()))
+        for conn in conns:
+            conn._break_by_death(node, f"peer-death:{cause}")

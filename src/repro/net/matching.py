@@ -1,0 +1,118 @@
+"""MPI-style message matching.
+
+Incoming envelopes are matched against posted receives on
+``(source, tag)`` with wildcards, FIFO within each matching pair --
+the non-overtaking rule MPI guarantees and applications rely on.
+Unmatched arrivals wait in the unexpected-message queue.
+
+On FMI recovery the engine is :meth:`reset`: posted receives are
+cancelled (their events fail with :class:`RecvCancelled`) and
+unexpected messages from the old epoch are purged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.net.message import Envelope
+from repro.simt.kernel import Event, Simulator
+
+__all__ = ["MatchingEngine", "ANY_SOURCE", "ANY_TAG", "RecvCancelled"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class RecvCancelled(Exception):
+    """A posted receive was cancelled by a recovery reset."""
+
+
+class _PostedRecv:
+    __slots__ = ("source", "tag", "comm_id", "event")
+
+    def __init__(self, source: int, tag: int, comm_id: int, event: Event):
+        self.source = source
+        self.tag = tag
+        self.comm_id = comm_id
+        self.event = event
+
+    def matches(self, env: Envelope) -> bool:
+        return (
+            env.comm_id == self.comm_id
+            and (self.source == ANY_SOURCE or env.src == self.source)
+            and (self.tag == ANY_TAG or env.tag == self.tag)
+        )
+
+
+class MatchingEngine:
+    """Per-process matching state: posted receives + unexpected queue."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._posted: Deque[_PostedRecv] = deque()
+        self._unexpected: Deque[Envelope] = deque()
+        #: observability counters
+        self.delivered = 0
+        self.matched_unexpected = 0
+
+    # -- receive side -----------------------------------------------------
+    def post(self, source: int, tag: int, comm_id: int) -> Event:
+        """Post a receive; the event fires with the matching Envelope."""
+        evt = Event(self.sim)
+        # First look in the unexpected queue (oldest first: FIFO).
+        for env in self._unexpected:
+            probe = _PostedRecv(source, tag, comm_id, evt)
+            if probe.matches(env):
+                self._unexpected.remove(env)
+                self.matched_unexpected += 1
+                evt.succeed(env)
+                return evt
+        self._posted.append(_PostedRecv(source, tag, comm_id, evt))
+        return evt
+
+    def probe(self, source: int, tag: int, comm_id: int) -> Optional[Envelope]:
+        """Non-destructive check of the unexpected queue (MPI_Iprobe)."""
+        probe = _PostedRecv(source, tag, comm_id, Event(self.sim))
+        for env in self._unexpected:
+            if probe.matches(env):
+                return env
+        return None
+
+    # -- delivery side ------------------------------------------------------
+    def deliver(self, env: Envelope) -> None:
+        """An envelope arrived from the transport."""
+        self.delivered += 1
+        for posted in self._posted:
+            if posted.matches(env):
+                self._posted.remove(posted)
+                if posted.event.callbacks is not None and not posted.event.triggered:
+                    posted.event.succeed(env)
+                    return
+                # Waiter died; treat as unexpected so data isn't lost.
+                break
+        self._unexpected.append(env)
+
+    # -- recovery ------------------------------------------------------------
+    def reset(self) -> Tuple[int, int]:
+        """Cancel all posted receives and purge unexpected messages.
+
+        Returns ``(cancelled, purged)`` counts.
+        """
+        cancelled = 0
+        while self._posted:
+            posted = self._posted.popleft()
+            if posted.event.callbacks is not None and not posted.event.triggered:
+                posted.event.fail(RecvCancelled())
+                cancelled += 1
+        purged = len(self._unexpected)
+        self._unexpected.clear()
+        return cancelled, purged
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)

@@ -1,0 +1,44 @@
+"""Message envelopes.
+
+An :class:`Envelope` is what travels through the transport: addressing
+(rank, tag, communicator), the *epoch* stamp used to discard stale
+pre-failure traffic (Section IV-D), a declared byte count for timing,
+and the actual payload object for data fidelity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Envelope"]
+
+_seq = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """One message in flight."""
+
+    #: sender's rank within ``comm_id``
+    src: int
+    #: destination rank within ``comm_id``
+    dst: int
+    tag: int
+    comm_id: int
+    #: recovery epoch the message was sent in; receivers drop envelopes
+    #: from older epochs (stale pre-failure messages)
+    epoch: int
+    #: declared size for timing purposes
+    nbytes: float
+    #: the payload object (numpy array, Python object, Payload...)
+    data: Any = None
+    #: global monotonic sequence number -- debugging/trace ordering
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Env {self.src}->{self.dst} tag={self.tag} comm={self.comm_id} "
+            f"epoch={self.epoch} {self.nbytes:.0f}B>"
+        )

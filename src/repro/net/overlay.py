@@ -1,0 +1,149 @@
+"""Overlay-network topology math.
+
+The paper's §IV-C compares three overlays for failure notification:
+
+* **complete** -- O(1) notification but O(n) establishment;
+* **ring**     -- O(1) establishment but O(n) notification;
+* **log-ring** -- each rank connects to neighbours ``k^j`` hops ahead
+  (``k^j < n``), giving O(log n) establishment *and* notification:
+  every rank learns of a failure within ``ceil(ceil(log_k n)/2)`` hops.
+
+These functions are pure graph math; the live detector
+(:mod:`repro.fmi.detector`) builds real connections from
+:func:`logring_neighbors` and its propagation is cross-validated
+against :func:`notification_schedule` in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Set
+
+__all__ = [
+    "logring_neighbors",
+    "ring_neighbors",
+    "complete_neighbors",
+    "undirected_neighbors",
+    "notification_hops",
+    "notification_schedule",
+    "max_notification_hops_bound",
+    "establishment_connections",
+]
+
+
+def logring_neighbors(rank: int, n: int, k: int = 2) -> List[int]:
+    """Outgoing log-ring connections of ``rank``.
+
+    Base ``k`` uses Chord-style fingers: offsets ``m * k^j`` for
+    ``1 <= m < k`` and ``k^j < n`` -- ``(k-1) * log_k(n)`` connections.
+    For the default ``k=2`` this reduces to offsets 1, 2, 4, 8, ...:
+    for n=16, rank 0 connects to [1, 2, 4, 8], exactly the paper's
+    Figure 7 example.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if k < 2:
+        raise ValueError("log-ring base k must be >= 2")
+    if not 0 <= rank < n:
+        raise ValueError(f"rank {rank} out of range for n={n}")
+    out: List[int] = []
+    level = 1
+    seen: Set[int] = set()
+    while level < n:
+        for m in range(1, k):
+            offset = m * level
+            if offset >= n:
+                break
+            peer = (rank + offset) % n
+            if peer != rank and peer not in seen:
+                out.append(peer)
+                seen.add(peer)
+        level *= k
+    return out
+
+
+def ring_neighbors(rank: int, n: int) -> List[int]:
+    """Plain ring: one outgoing connection to the successor."""
+    if n < 2:
+        return []
+    return [(rank + 1) % n]
+
+
+def complete_neighbors(rank: int, n: int) -> List[int]:
+    """Complete graph: outgoing connections to every higher rank
+    (each pair connects once)."""
+    return [r for r in range(rank + 1, n)]
+
+
+def undirected_neighbors(n: int, k: int = 2, topology: str = "logring") -> Dict[int, Set[int]]:
+    """Adjacency of the overlay, ignoring direction (disconnect events
+    fire on both ends of a connection)."""
+    builders = {
+        "logring": lambda r: logring_neighbors(r, n, k),
+        "ring": lambda r: ring_neighbors(r, n),
+        "complete": lambda r: complete_neighbors(r, n),
+    }
+    try:
+        build = builders[topology]
+    except KeyError:
+        raise ValueError(f"unknown topology {topology!r}") from None
+    adj: Dict[int, Set[int]] = {r: set() for r in range(n)}
+    for r in range(n):
+        for peer in build(r):
+            adj[r].add(peer)
+            adj[peer].add(r)
+    return adj
+
+
+def notification_hops(n: int, failed: int, k: int = 2, topology: str = "logring") -> Dict[int, int]:
+    """Hops until each surviving rank hears about ``failed``.
+
+    Hop 1 = ibverbs event on the failed rank's direct neighbours; each
+    later hop = explicit closes cascading outward (BFS).
+    """
+    adj = undirected_neighbors(n, k, topology)
+    hops: Dict[int, int] = {}
+    frontier = deque()
+    for peer in adj[failed]:
+        hops[peer] = 1
+        frontier.append(peer)
+    while frontier:
+        cur = frontier.popleft()
+        for nxt in adj[cur]:
+            if nxt != failed and nxt not in hops:
+                hops[nxt] = hops[cur] + 1
+                frontier.append(nxt)
+    return hops
+
+
+def max_notification_hops_bound(n: int, k: int = 2) -> int:
+    """The paper's bound: ceil(ceil(log_k n) / 2) hops."""
+    if n <= 2:
+        return 1
+    return math.ceil(math.ceil(math.log(n, k)) / 2)
+
+
+def notification_schedule(
+    n: int,
+    failed: int,
+    close_delay: float,
+    hop_delay: float,
+    k: int = 2,
+    topology: str = "logring",
+) -> Dict[int, float]:
+    """Absolute notification time per surviving rank.
+
+    Direct neighbours pay the ibverbs ``close_delay``; each further hop
+    adds ``hop_delay``.
+    """
+    return {
+        rank: close_delay + (h - 1) * hop_delay
+        for rank, h in notification_hops(n, failed, k, topology).items()
+    }
+
+
+def establishment_connections(n: int, k: int = 2, topology: str = "logring") -> int:
+    """Total connections the overlay needs (establishment cost proxy)."""
+    adj = undirected_neighbors(n, k, topology)
+    return sum(len(peers) for peers in adj.values()) // 2

@@ -1,0 +1,72 @@
+"""PMGR-style bootstrap rendezvous.
+
+PMGR_COLLECTIVE gives an MPI launcher a scalable TCP tree for
+bootstrapping: every process checks in, endpoint information is
+allgathered, and everyone proceeds together.  We model it as a
+rendezvous barrier whose cost (charged once the last participant
+arrives) follows the calibrated sqrt(n) bootstrap model in
+:class:`~repro.cluster.spec.ClusterSpec` -- the quantity Fig 14 plots.
+
+The same rendezvous implements the H1 synchronising state during
+recovery: survivors arrive early and *block* until replacement
+processes check in (the paper's "Non-failed processes block in
+FMI_Loop until the new processes are bootstrapped").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simt.kernel import Event, Simulator
+
+__all__ = ["PmgrRendezvous"]
+
+
+class PmgrRendezvous:
+    """A one-shot all-arrive barrier with an exchange cost.
+
+    ``arrive()`` returns an event; once ``size`` participants have
+    arrived, the exchange runs for ``cost`` seconds and then every
+    participant's event fires simultaneously.
+    """
+
+    def __init__(self, sim: Simulator, size: int, cost: float):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self.cost = cost
+        self._arrived: List[Event] = []
+        self._released = False
+        #: time the last participant checked in (None until complete)
+        self.complete_at: Optional[float] = None
+        #: time participants were released (None until released)
+        self.released_at: Optional[float] = None
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived) if not self._released else 0
+
+    def arrive(self) -> Event:
+        """Check in; the event fires when everyone has and the
+        endpoint exchange has completed."""
+        if self._released:
+            raise RuntimeError("rendezvous already released (one-shot)")
+        evt = Event(self.sim)
+        self._arrived.append(evt)
+        if len(self._arrived) > self.size:
+            raise RuntimeError(
+                f"rendezvous overfull: {len(self._arrived)} > size {self.size}"
+            )
+        if len(self._arrived) == self.size:
+            self.complete_at = self.sim.now
+            exchange = self.sim.timeout(self.cost)
+            exchange.callbacks.append(self._release)
+        return evt
+
+    def _release(self, _evt: Event) -> None:
+        self._released = True
+        self.released_at = self.sim.now
+        for evt in self._arrived:
+            if evt.callbacks is not None and not evt.triggered:
+                evt.succeed(None)

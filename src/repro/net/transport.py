@@ -1,0 +1,119 @@
+"""PSM-like low-latency transport.
+
+Faithful to the property the paper highlights for QLogic's PSM: after
+connection establishment, **communication calls do not report peer
+failures**.  A send to a dead process completes locally and the bytes
+vanish; failure awareness comes exclusively from the ibverbs-style
+connection events consumed by the log-ring detector
+(:mod:`repro.net.endpoint` + :mod:`repro.fmi.detector`).
+
+Epoch hygiene (Section IV-D): every envelope carries the sender's
+recovery epoch; delivery into a context with a newer epoch is silently
+dropped, so stale pre-failure messages can never satisfy a
+post-recovery receive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.net.matching import MatchingEngine
+from repro.net.message import Envelope
+from repro.simt.kernel import Event
+
+__all__ = ["Transport", "NetContext"]
+
+Address = Tuple[int, int]  # (node_id, serial)
+
+
+class NetContext:
+    """Per-process networking state: address, matching engine, epoch."""
+
+    _serial = 0
+
+    def __init__(self, transport: "Transport", node: Node, label: str = ""):
+        NetContext._serial += 1
+        self.transport = transport
+        self.node = node
+        self.addr: Address = (node.id, NetContext._serial)
+        self.label = label or f"ctx{NetContext._serial}"
+        self.matching = MatchingEngine(transport.sim)
+        #: current recovery epoch; bumped by the FMI runtime on recovery
+        self.epoch = 0
+        self.closed = False
+        #: stale envelopes dropped by the epoch filter
+        self.stale_dropped = 0
+
+    @property
+    def alive(self) -> bool:
+        return not self.closed and self.node.alive
+
+    def close(self) -> None:
+        self.closed = True
+        self.transport._registry.pop(self.addr, None)
+
+
+class Transport:
+    """Message movement between :class:`NetContext` instances."""
+
+    def __init__(self, machine: Machine, sw_overhead: Optional[float] = None):
+        self.machine = machine
+        self.sim = machine.sim
+        self.sw_overhead = (
+            machine.spec.network.sw_overhead_fmi
+            if sw_overhead is None
+            else sw_overhead
+        )
+        self._registry: Dict[Address, NetContext] = {}
+        #: envelopes dropped because the destination was gone
+        self.dropped_dead = 0
+        #: envelopes dropped by the epoch filter
+        self.dropped_stale = 0
+
+    # -- registry ---------------------------------------------------------
+    def create_context(self, node: Node, label: str = "") -> NetContext:
+        ctx = NetContext(self, node, label)
+        self._registry[ctx.addr] = ctx
+        return ctx
+
+    def lookup(self, addr: Address) -> Optional[NetContext]:
+        ctx = self._registry.get(addr)
+        if ctx is not None and ctx.alive:
+            return ctx
+        return None
+
+    # -- data plane ----------------------------------------------------------
+    def send(self, src: NetContext, dst_addr: Address, env: Envelope) -> Event:
+        """Send ``env`` from ``src`` to the context at ``dst_addr``.
+
+        The returned event fires when the bytes have left/landed; it
+        fires even if the destination died mid-flight (the sender
+        cannot tell -- PSM semantics).  It only fails if the *sender's*
+        node is down.
+        """
+        dst_node = self.machine.node(dst_addr[0])
+        wire = self.machine.fabric.send(
+            src.node, dst_node, env.nbytes, sw_overhead=self.sw_overhead
+        )
+        done = Event(self.sim)
+
+        def on_arrival(evt: Event) -> None:
+            if not evt._ok:
+                if not done.triggered:
+                    done.fail(evt._value)
+                return
+            ctx = self.lookup(dst_addr)
+            if ctx is None:
+                self.dropped_dead += 1
+            elif env.epoch < ctx.epoch:
+                self.dropped_stale += 1
+                ctx.stale_dropped += 1
+            else:
+                ctx.matching.deliver(env)
+            if not done.triggered:
+                done.succeed(None)
+
+        wire.callbacks.append(on_arrival)
+        return done

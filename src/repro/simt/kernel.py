@@ -1,0 +1,219 @@
+"""Core event loop: the virtual clock, the event heap, and ``Event``.
+
+The kernel is intentionally small.  Everything else (processes,
+resources, network links) is built from :class:`Event` and
+:meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "Timeout", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, running a dead sim...)."""
+
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` puts it on the event heap at the current simulation
+    time (optionally after ``delay``); when the simulator pops it, the
+    event becomes *processed* and its callbacks run in registration
+    order.
+
+    Callbacks receive the event itself and can inspect :attr:`ok` and
+    :attr:`value`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        self._scheduled = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) on the heap."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes see ``exc`` raised."""
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._push(self, delay)
+        return self
+
+    # -- internal ------------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._push(self, delay)
+
+
+class Simulator:
+    """The discrete-event simulator: virtual clock plus event heap.
+
+    Heap entries are ``(time, seq, event)``; ``seq`` is a monotonically
+    increasing tiebreaker so same-time events fire in schedule order,
+    which makes the whole simulation deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Any] = []
+        self._seq: int = 0
+        self._active_proc = None  # set by Process while resuming
+
+    # -- scheduling ----------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator, name: str = "") -> "Process":
+        """Start a new process running ``generator`` (see ``process.py``)."""
+        from repro.simt.process import Process
+
+        return Process(self, generator, name=name)
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = time
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        while self._heap:
+            return self._heap[0][0]
+        return float("inf")
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        """Run until the heap drains, ``until`` is reached, or the event
+        ``until`` (if an :class:`Event` is passed) is processed.
+
+        Returns the value of the ``until`` event when one is given.
+        """
+        limit_time = None
+        limit_event = None
+        if isinstance(until, Event):
+            limit_event = until
+        elif until is not None:
+            limit_time = float(until)
+
+        n = 0
+        while self._heap:
+            if limit_event is not None and limit_event.processed:
+                break
+            if limit_time is not None and self._heap[0][0] > limit_time:
+                self.now = limit_time
+                break
+            self.step()
+            n += 1
+            if max_events is not None and n >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; livelock suspected"
+                )
+        if limit_event is not None:
+            if not limit_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            if not limit_event.ok:
+                raise limit_event.value
+            return limit_event.value
+        if limit_time is not None and self.now < limit_time and not self._heap:
+            # drained early; clock stays at last event time by convention
+            pass
+        return None

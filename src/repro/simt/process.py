@@ -1,0 +1,170 @@
+"""Generator-coroutine processes for the DES kernel.
+
+A *process* wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.simt.kernel.Event` objects; when a yielded event fires,
+the process resumes with the event's value (or the event's exception is
+thrown into the generator).
+
+Two ways a process can die from the outside:
+
+* :meth:`Process.interrupt` -- an :class:`Interrupt` is thrown into the
+  generator at the current simulation time.  The generator may catch it
+  and keep running (used e.g. for failure *notification*).
+* :meth:`Process.kill` -- abrupt termination.  The generator is closed
+  and never resumed; the process event fails with
+  :class:`ProcessKilled`.  This models a node crash: a process on a
+  dead node simply ceases to exist, mid-instruction, with no chance to
+  clean up its protocol state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.simt.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Process", "Interrupt", "ProcessKilled"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """The failure value of a process event after :meth:`Process.kill`."""
+
+    def __init__(self, process: "Process", cause: Any = None):
+        super().__init__(f"process {process.name!r} killed ({cause!r})")
+        self.process = process
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator on the simulation timeline.
+
+    The process is itself an :class:`Event`: it succeeds with the
+    generator's return value, or fails with the uncaught exception.
+    Other processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_killed", "_resume_cb")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None  # event we are waiting on
+        self._killed = False
+        self._resume_cb = self._resume
+        # Bootstrap: resume once at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume_cb)
+        sim._push(init, 0.0)
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been killed."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the generator asap.
+
+        No-op if the process already finished or was killed.
+        """
+        if self.triggered or self._killed:
+            return
+        self._detach()
+        evt = Event(self.sim)
+        evt._ok = False
+        evt._value = Interrupt(cause)
+        evt.callbacks.append(self._resume_cb)
+        self.sim._push(evt, 0.0)
+        self._target = evt
+
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process abruptly, never resuming the generator.
+
+        The generator is closed (``finally`` blocks run, as in CPython
+        process teardown) and the process event fails with
+        :class:`ProcessKilled`.
+        """
+        if self.triggered or self._killed:
+            return
+        self._killed = True
+        self._detach()
+        self._target = None
+        try:
+            self.generator.close()
+        except Exception:  # pragma: no cover - user finally blocks misbehaving
+            pass
+        self._ok = False
+        self._value = ProcessKilled(self, cause)
+        self.sim._push(self, 0.0)
+
+    def _detach(self) -> None:
+        """Stop listening to the event we were waiting on."""
+        tgt = self._target
+        if tgt is not None and tgt.callbacks is not None:
+            try:
+                tgt.callbacks.remove(self._resume_cb)
+            except ValueError:
+                pass
+
+    # -- the trampoline -------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._killed or self.triggered:
+            return
+        self._target = None
+        self.sim._active_proc = self
+        try:
+            if event._ok:
+                nxt = self.generator.send(event._value)
+            else:
+                nxt = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_proc = None
+            self._ok = True
+            self._value = stop.value
+            self.sim._push(self, 0.0)
+            return
+        except BaseException as exc:
+            self.sim._active_proc = None
+            self._ok = False
+            self._value = exc
+            self.sim._push(self, 0.0)
+            return
+        self.sim._active_proc = None
+
+        if not isinstance(nxt, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {type(nxt).__name__}, "
+                "expected an Event"
+            )
+            self._ok = False
+            self._value = err
+            self.sim._push(self, 0.0)
+            try:
+                self.generator.close()
+            except Exception:  # pragma: no cover
+                pass
+            return
+
+        self._target = nxt
+        if nxt.processed:
+            # Already fired: resume on a fresh zero-delay event carrying
+            # the same outcome so scheduling order stays heap-driven.
+            relay = Event(self.sim)
+            relay._ok = nxt._ok
+            relay._value = nxt._value
+            relay.callbacks.append(self._resume_cb)
+            self.sim._push(relay, 0.0)
+            self._target = relay
+        else:
+            nxt.callbacks.append(self._resume_cb)

@@ -1,0 +1,212 @@
+"""Shared-resource primitives: FIFO stores, counted resources, and a
+fair-share bandwidth resource.
+
+:class:`BandwidthResource` is the workhorse of the hardware model.  A
+NIC, a memory bus, or a filesystem stream is a pipe with a fixed
+capacity in bytes/second; concurrent transfers share it *processor-
+sharing* style (each of the *k* active flows progresses at capacity/k).
+This is what makes, e.g., 12 ranks on one node checkpointing 512 MB
+each take ~12x longer through the node's single InfiniBand link than
+one rank would -- the effect behind Figure 12's per-node throughput
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.simt.kernel import Event, Simulator
+
+__all__ = ["Store", "Resource", "BandwidthResource"]
+
+
+class Store:
+    """An unbounded FIFO channel of Python objects.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    oldest item once one is available.  Items are matched to getters in
+    strict FIFO order, which the message-matching layer relies on.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        # Hand the item to the oldest *live* getter, if any.
+        while self._getters:
+            getter = self._getters.popleft()
+            # A killed waiter detaches its resume callback, leaving an
+            # untriggered event nobody listens to -- skip it or the item
+            # would be lost.
+            if not getter.callbacks or getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        evt = Event(self.sim)
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots and a FIFO wait queue.
+
+    ``acquire`` returns an event that fires when a slot is granted;
+    ``release`` frees a slot.  A process killed while *holding* a slot
+    leaks it -- by design: a crashed node takes its hardware resources
+    down with it, and the cluster layer discards the whole node object.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        evt = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            evt.succeed(self)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.callbacks or waiter.triggered:
+                continue  # waiter's process was killed while queued
+            waiter.succeed(self)
+            return
+        self.in_use -= 1
+
+
+class _Flow:
+    __slots__ = ("remaining", "event", "nbytes")
+
+    def __init__(self, nbytes: float, event: Event):
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.event = event
+
+
+class BandwidthResource:
+    """A pipe of ``capacity`` bytes/second shared fairly between flows.
+
+    :meth:`transfer` registers a flow of ``nbytes`` and returns an event
+    that fires when the flow completes.  At any instant each of the *k*
+    active flows progresses at ``capacity / k`` bytes/second (max-min
+    fair share with equal demands).  Completion times are recomputed
+    whenever a flow starts or finishes.
+
+    A per-flow fixed ``overhead`` (seconds) models per-operation setup
+    cost (e.g. per-message software latency) and is added *before* the
+    bytes start moving.
+    """
+
+    #: bytes below this are considered finished (float-noise guard)
+    _EPS = 1e-6
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "bw"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self._flows: List[_Flow] = []
+        self._last = sim.now
+        self._timer_gen = 0  # invalidates stale completion timers
+        #: cumulative bytes fully transferred (for utilization stats)
+        self.bytes_done: float = 0.0
+
+    # -- public ----------------------------------------------------------------
+    def transfer(self, nbytes: float, overhead: float = 0.0) -> Event:
+        """Move ``nbytes`` through the pipe; event fires at completion."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        done = Event(self.sim)
+        if overhead > 0:
+            # Charge the fixed overhead first, then enter the shared pipe.
+            t = self.sim.timeout(overhead)
+            t.callbacks.append(lambda _e: self._start(nbytes, done))
+        else:
+            self._start(nbytes, done)
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def time_for(self, nbytes: float) -> float:
+        """Uncontended transfer time for ``nbytes`` (planning helper)."""
+        return nbytes / self.capacity
+
+    # -- internals ----------------------------------------------------------------
+    def _start(self, nbytes: float, done: Event) -> None:
+        if done.callbacks is None:
+            return  # receiver abandoned before start (e.g. killed)
+        self._advance()
+        if nbytes <= self._EPS:
+            self.bytes_done += nbytes
+            done.succeed(None)
+            self._reschedule()
+            return
+        self._flows.append(_Flow(nbytes, done))
+        self._reschedule()
+
+    def _rate(self) -> float:
+        return self.capacity / len(self._flows)
+
+    def _advance(self) -> None:
+        """Apply progress accrued since the last recomputation."""
+        now = self.sim.now
+        if self._flows and now > self._last:
+            progressed = (now - self._last) * self._rate()
+            for flow in self._flows:
+                flow.remaining -= progressed
+        self._last = now
+
+    def _reschedule(self) -> None:
+        self._timer_gen += 1
+        if not self._flows:
+            return
+        gen = self._timer_gen
+        min_remaining = min(f.remaining for f in self._flows)
+        dt = max(min_remaining, 0.0) / self._rate()
+        timer = self.sim.timeout(dt)
+        timer.callbacks.append(lambda _e: self._on_timer(gen))
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a newer flow set
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= self._EPS]
+        if not finished:
+            # Float residue on multi-GB flows can exceed the absolute
+            # epsilon; but this timer was armed exactly for the
+            # minimum-remaining flow's deadline, so that flow *is* done.
+            threshold = min(f.remaining for f in self._flows) + self._EPS
+            finished = [f for f in self._flows if f.remaining <= threshold]
+        done_set = set(id(f) for f in finished)
+        self._flows = [f for f in self._flows if id(f) not in done_set]
+        for flow in finished:
+            self.bytes_done += flow.nbytes
+            if flow.event.callbacks is not None and not flow.event.triggered:
+                flow.event.succeed(None)
+        self._reschedule()

@@ -1,0 +1,76 @@
+"""Conjugate gradient on both runtimes, with and without failures."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import cg_fmi_app, cg_mpi_app, make_spd_problem
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.mpi.runtime import MpiJob
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+N = 32
+ITERS = 24  # CG on a well-conditioned 32x32 SPD system converges well
+
+
+def make(num_nodes, seed=0):
+    sim = Simulator()
+    return sim, Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+
+
+def test_cg_mpi_converges_to_true_solution():
+    sim, machine = make(4)
+    job = MpiJob(machine, cg_mpi_app(N, ITERS), nprocs=4, charge_init=False)
+    results = sim.run(until=job.launch())
+    _a, _b, x_true = make_spd_problem(N)
+    for x in results:
+        assert np.allclose(x, x_true, atol=1e-6)
+
+
+def test_cg_fmi_matches_mpi_bitwise():
+    sim1, m1 = make(4)
+    ref = sim1.run(until=MpiJob(m1, cg_mpi_app(N, ITERS), nprocs=4,
+                                charge_init=False).launch())
+    sim2, m2 = make(6)
+    job = FmiJob(m2, cg_fmi_app(N, ITERS), num_ranks=4,
+                 config=FmiConfig(interval=2, xor_group_size=4, spare_nodes=0))
+    out = sim2.run(until=job.launch())
+    for a, b in zip(ref, out):
+        assert np.array_equal(a, b)
+
+
+def test_cg_fmi_survives_crash_same_answer():
+    """CG amplifies any state corruption: surviving a crash with a
+    bit-identical solution is a strong rollback-correctness check."""
+    sim1, m1 = make(6, seed=1)
+    clean_job = FmiJob(m1, cg_fmi_app(N, ITERS, extra_work_s=0.3),
+                       num_ranks=4,
+                       config=FmiConfig(interval=1, xor_group_size=4,
+                                        spare_nodes=0))
+    clean = sim1.run(until=clean_job.launch())
+
+    sim2, m2 = make(6, seed=2)
+    job = FmiJob(m2, cg_fmi_app(N, ITERS, extra_work_s=0.3), num_ranks=4,
+                 config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=1))
+    done = job.launch()
+
+    def killer():
+        yield sim2.timeout(3.0)
+        job.fmirun.node_slots[1].crash("cg-test")
+
+    sim2.spawn(killer())
+    faulty = sim2.run(until=done)
+    assert job.recovery_count == 1
+    for a, b in zip(clean, faulty):
+        assert np.array_equal(a, b)
+    _a, _b, x_true = make_spd_problem(N)
+    assert np.allclose(faulty[0], x_true, atol=1e-6)
+
+
+def test_cg_validates_divisibility():
+    sim, machine = make(4)
+    job = MpiJob(machine, cg_mpi_app(30, 4), nprocs=4, charge_init=False)
+    with pytest.raises(Exception, match="divide evenly"):
+        sim.run(until=job.launch())

@@ -1,0 +1,243 @@
+"""Node lifecycle, fabric timing, and filesystem behaviour."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.filesystem import FileLostError
+from repro.cluster.spec import SIERRA, ClusterSpec
+from repro.simt import Simulator
+from repro.simt.process import ProcessKilled
+from repro.simt.rng import RngRegistry
+
+
+def make_machine(n=4):
+    sim = Simulator()
+    return sim, Machine(sim, SIERRA.with_nodes(n), RngRegistry(7))
+
+
+# ------------------------------------------------------------------- Node
+def test_node_crash_kills_registered_processes():
+    sim, m = make_machine()
+    node = m.node(0)
+    outcomes = []
+
+    def worker():
+        yield sim.timeout(100.0)
+        outcomes.append("finished")  # pragma: no cover
+
+    proc = node.spawn(worker())
+
+    def killer():
+        yield sim.timeout(1.0)
+        node.crash("test")
+
+    sim.spawn(killer())
+    sim.run()
+    assert outcomes == []
+    assert isinstance(proc.value, ProcessKilled)
+    assert not node.alive
+
+
+def test_node_crash_idempotent_and_notifies_once():
+    sim, m = make_machine()
+    node = m.node(1)
+    hits = []
+    m.on_node_death(lambda n, cause: hits.append((n.id, cause)))
+    node.crash("a")
+    node.crash("b")
+    assert hits == [(1, "a")]
+
+
+def test_spawn_on_dead_node_rejected():
+    sim, m = make_machine()
+    node = m.node(0)
+    node.crash()
+    with pytest.raises(Exception):
+        node.spawn(iter(()))
+
+
+def test_node_memcpy_time():
+    sim, m = make_machine()
+    node = m.node(0)
+    done = node.memcpy(32e9)  # 32 GB through a 32 GB/s bus
+    sim.run(until=done)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_node_compute_time():
+    sim, m = make_machine()
+    node = m.node(0)
+    done = node.compute(m.spec.node.core_flops * 2.0)  # 2 core-seconds
+    sim.run(until=done)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_live_nodes_tracking():
+    sim, m = make_machine(4)
+    assert len(m.live_nodes) == 4
+    m.fail_nodes([0, 2])
+    assert sorted(n.id for n in m.live_nodes) == [1, 3]
+
+
+# ----------------------------------------------------------------- Fabric
+def test_fabric_one_byte_latency_matches_calibration():
+    sim, m = make_machine()
+    net = m.spec.network
+    done = m.fabric.send(m.node(0), m.node(1), 1.0, sw_overhead=net.sw_overhead_mpi)
+    sim.run(until=done)
+    # 1 byte: 2*sw + wire + 1/link_bw ~= 3.555 us
+    assert sim.now == pytest.approx(3.555e-6, rel=0.01)
+
+
+def test_fabric_8mb_bandwidth_matches_table3():
+    sim, m = make_machine()
+    nbytes = 8 * 1024 * 1024
+    done = m.fabric.send(m.node(0), m.node(1), nbytes)
+    sim.run(until=done)
+    bw = nbytes / sim.now
+    assert bw == pytest.approx(3.22e9, rel=0.02)
+
+
+def test_fabric_intranode_uses_memory_bus():
+    sim, m = make_machine()
+    before = m.node(0).mem_bw.bytes_done
+    done = m.fabric.send(m.node(0), m.node(0), 1e6)
+    sim.run(until=done)
+    assert m.node(0).mem_bw.bytes_done - before == pytest.approx(1e6)
+    # Much faster than the NIC path.
+    assert sim.now < 1e6 / 3.24e9
+
+
+def test_fabric_incast_bottlenecks_on_receiver():
+    # 3 senders to one receiver: rx NIC shared 3 ways.
+    sim, m = make_machine(4)
+    nbytes = 3.24e9  # one second uncontended
+    events = [m.fabric.send(m.node(i), m.node(3), nbytes) for i in (0, 1, 2)]
+    sim.run()
+    assert all(e.processed for e in events)
+    assert sim.now == pytest.approx(3.0, rel=0.01)
+
+
+def test_fabric_disjoint_pairs_run_in_parallel():
+    sim, m = make_machine(4)
+    nbytes = 3.24e9
+    e1 = m.fabric.send(m.node(0), m.node(1), nbytes)
+    e2 = m.fabric.send(m.node(2), m.node(3), nbytes)
+    sim.run()
+    assert e1.processed and e2.processed
+    assert sim.now == pytest.approx(1.0, rel=0.01)
+
+
+def test_fabric_send_from_dead_node_fails():
+    sim, m = make_machine()
+    m.node(0).crash()
+    done = m.fabric.send(m.node(0), m.node(1), 10.0)
+    sim.run()
+    assert not done.ok
+    assert isinstance(done.value, ConnectionError)
+
+
+def test_fabric_counters():
+    sim, m = make_machine()
+    m.fabric.send(m.node(0), m.node(1), 100.0)
+    m.fabric.send(m.node(1), m.node(2), 50.0)
+    sim.run()
+    assert m.fabric.messages_sent == 2
+    assert m.fabric.bytes_sent == pytest.approx(150.0)
+
+
+# -------------------------------------------------------------- Filesystems
+def test_tmpfs_roundtrip():
+    sim, m = make_machine()
+    fs = m.node(0).tmpfs
+    payload = b"checkpoint-bytes" * 100
+
+    def writer():
+        yield fs.write("ckpt/rank0.dat", payload)
+        data = yield fs.read("ckpt/rank0.dat")
+        return data
+
+    proc = sim.spawn(writer())
+    sim.run()
+    assert proc.value == payload
+
+
+def test_tmpfs_write_charges_declared_size():
+    sim, m = make_machine()
+    fs = m.node(0).tmpfs
+    done = fs.write("big", b"x", nbytes=8.0e9)  # declare 8 GB
+    sim.run(until=done)
+    assert sim.now == pytest.approx(8.0e9 / m.spec.filesystem.tmpfs_bw, rel=0.01)
+
+
+def test_tmpfs_destroyed_on_crash():
+    sim, m = make_machine()
+    node = m.node(0)
+    fs = node.tmpfs
+
+    def writer():
+        yield fs.write("f", b"data")
+        node.crash()
+        assert not fs.exists("f")
+        try:
+            yield fs.read("f")
+        except FileLostError:
+            return "lost"
+
+    proc = sim.spawn(writer())
+    sim.run()
+    assert proc.value == "lost"
+
+
+def test_tmpfs_read_missing_fails():
+    sim, m = make_machine()
+    fs = m.node(0).tmpfs
+
+    def reader():
+        try:
+            yield fs.read("nope")
+        except FileLostError:
+            return "missing"
+
+    proc = sim.spawn(reader())
+    sim.run()
+    assert proc.value == "missing"
+
+
+def test_pfs_shared_bandwidth():
+    sim, m = make_machine()
+    # Two concurrent 50 GB writes through the 50 GB/s PFS: ~2 s total.
+    e1 = m.pfs.write("a", b"1", nbytes=50e9)
+    e2 = m.pfs.write("b", b"2", nbytes=50e9)
+    sim.run()
+    assert e1.processed and e2.processed
+    assert sim.now == pytest.approx(2.0, rel=0.01)
+
+
+def test_pfs_survives_node_crash():
+    sim, m = make_machine()
+
+    def run():
+        yield m.pfs.write("x", b"persistent")
+        m.node(0).crash()
+        data = yield m.pfs.read("x")
+        return data
+
+    proc = sim.spawn(run())
+    sim.run()
+    assert proc.value == b"persistent"
+
+
+def test_filesystem_unlink_and_listdir():
+    sim, m = make_machine()
+    fs = m.node(0).tmpfs
+
+    def run():
+        yield fs.write("b", b"2")
+        yield fs.write("a", b"1")
+        assert fs.listdir() == ["a", "b"]
+        fs.unlink("a")
+        assert fs.listdir() == ["b"]
+
+    sim.spawn(run())
+    sim.run()

@@ -1,0 +1,60 @@
+"""Spec sanity: Table II constants and derived quantities."""
+
+import pytest
+
+from repro.cluster.spec import (
+    COASTAL,
+    COASTAL_L1_MTBF_HOURS,
+    COASTAL_L1_RATE,
+    COASTAL_L2_MTBF_HOURS,
+    COASTAL_L2_RATE,
+    GiB,
+    SIERRA,
+    TSUBAME2,
+)
+
+
+def test_sierra_matches_table2():
+    # Table II: 1,944 nodes total, 12 cores, 24 GB, 32 GB/s memory bw.
+    assert SIERRA.num_nodes == 1944
+    assert SIERRA.node.cores == 12
+    assert SIERRA.node.memory_bytes == 24 * GiB
+    assert SIERRA.node.memory_bw == 32e9
+
+
+def test_sierra_network_calibration_brackets_table3():
+    # One-byte latency = 2 * sw_overhead + wire latency, must land near
+    # the measured 3.555 us (MPI) / 3.573 us (FMI).
+    net = SIERRA.network
+    lat_mpi = 2 * net.sw_overhead_mpi + net.wire_latency
+    lat_fmi = 2 * net.sw_overhead_fmi + net.wire_latency
+    assert lat_mpi == pytest.approx(3.555e-6, rel=0.01)
+    assert lat_fmi == pytest.approx(3.573e-6, rel=0.01)
+    assert lat_fmi > lat_mpi  # FMI's fault-tolerance bookkeeping costs a bit
+    # Large-message bandwidth ~= link_bw ~= 3.22-3.24 GB/s.
+    assert 3.15e9 < net.link_bw < 3.30e9
+
+
+def test_pfs_is_lustre_50gbps():
+    assert SIERRA.filesystem.pfs_bw == 50e9
+
+
+def test_with_nodes_copies():
+    small = SIERRA.with_nodes(16)
+    assert small.num_nodes == 16
+    assert SIERRA.num_nodes == 1944
+    assert small.node == SIERRA.node
+
+
+def test_coastal_rates_match_section6c():
+    # L1 MTBF 130 h, L2 MTBF 650 h.
+    assert 1.0 / COASTAL_L1_RATE / 3600 == pytest.approx(COASTAL_L1_MTBF_HOURS, rel=0.02)
+    assert 1.0 / COASTAL_L2_RATE / 3600 == pytest.approx(COASTAL_L2_MTBF_HOURS, rel=0.02)
+
+
+def test_presets_distinct():
+    assert {SIERRA.name, TSUBAME2.name, COASTAL.name} == {
+        "sierra",
+        "tsubame2",
+        "coastal",
+    }

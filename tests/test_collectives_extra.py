@@ -1,0 +1,160 @@
+"""Hierarchical allreduce + hypothesis property tests on collectives."""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.mpi.collectives import allreduce_hier
+from repro.mpi.ops import MAX, MIN, SUM
+from repro.mpi.runtime import MpiJob
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def run_app(app, nprocs, ppn=1, num_nodes=None, seed=0):
+    sim = Simulator()
+    machine = Machine(
+        sim, SIERRA.with_nodes(num_nodes or max(2, nprocs // ppn)), RngRegistry(seed)
+    )
+    job = MpiJob(machine, app, nprocs, procs_per_node=ppn, charge_init=False)
+    results = sim.run(until=job.launch())
+    return sim, machine, results
+
+
+# -------------------------------------------------------- hierarchical ar
+@pytest.mark.parametrize("nprocs,ppn", [(8, 2), (12, 4), (24, 12), (6, 3)])
+def test_hier_allreduce_matches_flat(nprocs, ppn):
+    def app(mpi):
+        flat = yield from mpi.allreduce(float(mpi.rank + 1), SUM)
+        hier = yield from allreduce_hier(
+            mpi.world, float(mpi.rank + 1), SUM, procs_per_node=ppn
+        )
+        return (flat, hier)
+
+    _sim, _m, results = run_app(app, nprocs, ppn=ppn)
+    expected = nprocs * (nprocs + 1) / 2
+    for flat, hier in results:
+        assert flat == expected
+        assert hier == expected
+
+
+@pytest.mark.parametrize("op,expected_fn", [
+    (MAX, max), (MIN, min),
+])
+def test_hier_allreduce_other_ops(op, expected_fn):
+    nprocs, ppn = 12, 4
+
+    def app(mpi):
+        v = float((mpi.rank * 7) % 5)
+        out = yield from allreduce_hier(mpi.world, v, op, procs_per_node=ppn)
+        return out
+
+    _sim, _m, results = run_app(app, nprocs, ppn=ppn)
+    expected = expected_fn(float((r * 7) % 5) for r in range(nprocs))
+    assert results == [expected] * nprocs
+
+
+def test_hier_allreduce_fewer_fabric_messages():
+    """The point of the hierarchy: per-node leaders exchange over the
+    fabric, everyone else stays on the memory bus."""
+    nprocs, ppn = 24, 12
+
+    def flat_app(mpi):
+        out = yield from mpi.allreduce(1.0, SUM)
+        return out
+
+    def hier_app(mpi):
+        out = yield from allreduce_hier(mpi.world, 1.0, SUM, procs_per_node=ppn)
+        return out
+
+    _s1, m1, _ = run_app(flat_app, nprocs, ppn=ppn)
+    _s2, m2, _ = run_app(hier_app, nprocs, ppn=ppn)
+    # Count inter-node traffic only: each fabric.send with src != dst.
+    # (messages_sent counts all; intra-node ones ride the memory bus but
+    # are still logged, so compare totals as a proxy: hierarchical must
+    # use strictly fewer messages overall too.)
+    assert m2.fabric.messages_sent < m1.fabric.messages_sent
+
+
+def test_hier_validates_divisibility():
+    def app(mpi):
+        with pytest.raises(ValueError):
+            yield from allreduce_hier(mpi.world, 1.0, SUM, procs_per_node=5)
+        return True
+
+    _s, _m, results = run_app(app, 12, ppn=4)
+    assert all(results)
+
+
+# ----------------------------------------------------- property: semantics
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(2, 9),
+    values=st.lists(st.integers(-100, 100), min_size=9, max_size=9),
+    root=st.integers(0, 8),
+)
+def test_property_reduce_equals_functools(nprocs, values, root):
+    root = root % nprocs
+    vals = values[:nprocs]
+
+    def app(mpi):
+        out = yield from mpi.reduce(vals[mpi.rank], SUM, root=root)
+        return out
+
+    _s, _m, results = run_app(app, nprocs)
+    assert results[root] == functools.reduce(lambda a, b: a + b, vals)
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(1, 9),
+    values=st.lists(st.integers(-1000, 1000), min_size=9, max_size=9),
+)
+def test_property_allgather_orders_by_rank(nprocs, values):
+    vals = values[:nprocs]
+
+    def app(mpi):
+        out = yield from mpi.allgather(vals[mpi.rank])
+        return out
+
+    _s, _m, results = run_app(app, nprocs)
+    assert all(r == vals for r in results)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nprocs=st.integers(2, 8),
+    perm_seed=st.integers(0, 2**31),
+)
+def test_property_alltoall_is_transpose(nprocs, perm_seed):
+    rng = np.random.default_rng(perm_seed)
+    matrix = rng.integers(-100, 100, size=(nprocs, nprocs))
+
+    def app(mpi):
+        out = yield from mpi.alltoall(list(matrix[mpi.rank]))
+        return out
+
+    _s, _m, results = run_app(app, nprocs)
+    for dst, row in enumerate(results):
+        assert list(row) == list(matrix[:, dst])
+
+
+@settings(max_examples=10, deadline=None)
+@given(nprocs=st.integers(2, 9), root=st.integers(0, 8),
+       payload=st.text(max_size=30))
+def test_property_bcast_delivers_root_value(nprocs, root, payload):
+    root = root % nprocs
+
+    def app(mpi):
+        v = payload if mpi.rank == root else None
+        out = yield from mpi.bcast(v, root=root)
+        return out
+
+    _s, _m, results = run_app(app, nprocs)
+    assert results == [payload] * nprocs

@@ -1,0 +1,231 @@
+"""XOR checkpoint engine: encode/restore through real simulated ranks.
+
+Runs the engine inside an MpiJob harness (one communicator = one XOR
+group) so every parity byte moves through the simulated fabric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi.checkpoint import (
+    MemoryStorage,
+    TmpfsStorage,
+    XorCheckpointEngine,
+)
+from repro.fmi.errors import UnrecoverableFailure
+from repro.fmi.payload import Payload
+from repro.mpi.runtime import MpiJob
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def run_group(app, n, storage_kind="memory", num_nodes=None, seed=0):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(num_nodes or n), RngRegistry(seed))
+    storages = {}
+
+    def wrapped(api):
+        if storage_kind == "memory":
+            storage = MemoryStorage(api.node)
+        else:
+            storage = TmpfsStorage(api.node, prefix=f"scr/r{api.rank}")
+        storages[api.rank] = storage
+        engine = XorCheckpointEngine(api.world, storage, api.memcpy)
+        result = yield from app(api, engine, storage)
+        return result
+
+    job = MpiJob(machine, wrapped, n, procs_per_node=1, charge_init=False)
+    results = sim.run(until=job.launch())
+    return sim, results, storages
+
+
+def make_payloads(rank, nbufs=2, size=300):
+    rng = np.random.default_rng(1000 + rank)
+    return [
+        Payload.wrap(rng.integers(0, 256, size + 7 * k, dtype=np.uint8))
+        for k in range(nbufs)
+    ]
+
+
+@pytest.mark.parametrize("storage_kind", ["memory", "tmpfs"])
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_checkpoint_then_clean_restore(n, storage_kind):
+    def app(api, engine, storage):
+        payloads = make_payloads(api.rank)
+        meta = yield from engine.checkpoint(payloads, dataset_id=7)
+        assert meta.dataset_id == 7
+        meta2, restored = yield from engine.restore()
+        assert meta2.dataset_id == 7
+        return restored == payloads
+
+    _sim, results, _ = run_group(app, n, storage_kind)
+    assert results == [True] * n
+
+
+@pytest.mark.parametrize("storage_kind", ["memory", "tmpfs"])
+@pytest.mark.parametrize("n,f", [(2, 0), (2, 1), (4, 0), (4, 2), (8, 5)])
+def test_rebuild_single_lost_member(n, f, storage_kind):
+    saved = {}
+
+    def app(api, engine, storage):
+        payloads = make_payloads(api.rank, nbufs=3)
+        saved[api.rank] = [p.copy() for p in payloads]
+        yield from engine.checkpoint(payloads, dataset_id=3)
+        if api.rank == f:
+            storage.clear()  # simulate the replacement's empty memory
+        meta, restored = yield from engine.restore()
+        return (meta.dataset_id, restored)
+
+    _sim, results, _ = run_group(app, n, storage_kind)
+    for rank, (ds, restored) in enumerate(results):
+        assert ds == 3
+        assert restored == saved[rank], f"rank {rank} data mismatch"
+
+
+def test_two_lost_members_unrecoverable():
+    def app(api, engine, storage):
+        yield from engine.checkpoint(make_payloads(api.rank), dataset_id=1)
+        if api.rank in (0, 1):
+            storage.clear()
+        try:
+            yield from engine.restore()
+        except UnrecoverableFailure:
+            return "unrecoverable"
+        return "recovered"
+
+    _sim, results, _ = run_group(app, 4)
+    assert results == ["unrecoverable"] * 4
+
+
+def test_no_checkpoint_anywhere_is_cold_start():
+    def app(api, engine, storage):
+        result = yield from engine.restore()
+        return result
+
+    _sim, results, _ = run_group(app, 3)
+    assert results == [None] * 3
+
+
+def test_second_checkpoint_overwrites_first():
+    def app(api, engine, storage):
+        first = make_payloads(api.rank, nbufs=1)
+        yield from engine.checkpoint(first, dataset_id=1)
+        second = [Payload.wrap(np.full(64, api.rank, dtype=np.uint8))]
+        yield from engine.checkpoint(second, dataset_id=2)
+        if api.rank == 1:
+            storage.clear()
+        meta, restored = yield from engine.restore()
+        return (meta.dataset_id, restored == second)
+
+    _sim, results, _ = run_group(app, 4)
+    assert results == [(2, True)] * 4
+
+
+def test_unequal_payload_sizes_across_group():
+    # Members checkpoint very different sizes; padding must reconcile.
+    def app(api, engine, storage):
+        size = 50 + api.rank * 37
+        payloads = [Payload.wrap(np.arange(size, dtype=np.uint8))]
+        yield from engine.checkpoint(payloads, dataset_id=1)
+        if api.rank == 2:
+            storage.clear()
+        _meta, restored = yield from engine.restore()
+        expected = Payload.wrap(np.arange(size, dtype=np.uint8))
+        return restored[0] == expected
+
+    _sim, results, _ = run_group(app, 4)
+    assert results == [True] * 4
+
+
+def test_synthetic_payload_timing_exceeds_representative():
+    # Declared 600 MB with a 240-byte witness: checkpoint time must be
+    # dominated by the declared size, and witness data still verifies.
+    times = {}
+
+    def app(api, engine, storage):
+        payloads = [Payload.synthetic(600e6, seed=api.rank, rep_bytes=240)]
+        t0 = api.now
+        yield from engine.checkpoint(payloads, dataset_id=1)
+        times[api.rank] = api.now - t0
+        if api.rank == 0:
+            storage.clear()
+        _meta, restored = yield from engine.restore()
+        return restored[0] == payloads[0]
+
+    sim, results, _ = run_group(app, 4)
+    assert results == [True] * 4
+    # 600 MB through ~3.24 GB/s NIC: encode transfers alone need >0.2 s.
+    assert min(times.values()) > 0.15
+
+
+def test_checkpoint_time_matches_model_shape():
+    # Single rank per node, group of 4, 64 MB each: compare measured
+    # time against the Section V-B model within loose tolerance.
+    s = 64e6
+    durations = {}
+
+    def app(api, engine, storage):
+        payloads = [Payload.synthetic(s, seed=api.rank, rep_bytes=120)]
+        t0 = api.now
+        yield from engine.checkpoint(payloads, dataset_id=1)
+        durations[api.rank] = api.now - t0
+        return True
+
+    sim, results, _ = run_group(app, 4)
+    spec = SIERRA
+    n = 4
+    model = (
+        s / spec.node.memory_bw
+        + (s + s / (n - 1)) / spec.network.link_bw
+        + s / spec.node.memory_bw
+    )
+    measured = max(durations.values())
+    assert measured == pytest.approx(model, rel=0.35)
+
+
+def test_parity_memory_overhead():
+    def app(api, engine, storage):
+        payloads = [Payload.wrap(np.zeros(15 * 16, dtype=np.uint8))]
+        yield from engine.checkpoint(payloads, dataset_id=1)
+        return None
+        yield  # pragma: no cover
+
+    _sim, _results, storages = run_group(app, 16)
+    st = storages[0]
+    blob = st._blobs["ckpt@1"]
+    parity = st._blobs["parity@1"]
+    assert parity.data.nbytes / blob.data.nbytes == pytest.approx(1 / 15, rel=1e-6)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    sizes=st.lists(st.integers(1, 300), min_size=6, max_size=6),
+    f=st.integers(0, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_property_engine_roundtrip_through_simulation(n, sizes, f, seed):
+    """End-to-end property: arbitrary group size, per-member payload
+    sizes, and failed member -- the rebuilt checkpoint is bit-exact,
+    with every byte of parity moved through the simulated fabric."""
+    f = f % n
+
+    def app(api, engine, storage):
+        rng = np.random.default_rng(seed + api.rank)
+        payloads = [
+            Payload.wrap(rng.integers(0, 256, sizes[api.rank], dtype=np.uint8))
+        ]
+        yield from engine.checkpoint(payloads, dataset_id=1)
+        if api.rank == f:
+            storage.clear()
+        _meta, restored = yield from engine.restore()
+        return restored == payloads
+
+    _sim, results, _ = run_group(app, n, seed=seed % 1000)
+    assert results == [True] * n

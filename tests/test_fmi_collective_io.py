@@ -1,0 +1,143 @@
+"""Resumable collective I/O (§VIII MPI-IO sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.fmi.collective_io import CollectiveFile
+from repro.fmi.payload import Payload
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def make(num_nodes=10, seed=0):
+    sim = Simulator()
+    return sim, Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+
+
+def test_write_all_and_read_back():
+    sim, machine = make()
+    stats = {}
+
+    def app(fmi):
+        data = Payload.wrap(
+            np.random.default_rng(fmi.rank).integers(0, 256, 5000, dtype=np.uint8)
+        )
+        yield from fmi.init()
+        n = yield from fmi.loop([data])
+        cio = CollectiveFile(fmi, "outfile", segment_bytes=1000)
+        fresh = yield from cio.write_all(data)
+        back = yield from cio.read_back()
+        stats[fmi.rank] = (fresh, cio.complete)
+        yield from fmi.finalize()
+        return back.data[:5000].tobytes() == data.tobytes()
+
+    job = FmiJob(machine, app, num_ranks=4, procs_per_node=1,
+                 config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=0))
+    results = sim.run(until=job.launch())
+    assert all(results)
+    for fresh, complete in stats.values():
+        assert fresh == 5  # 5000 bytes / 1000-byte segments
+        assert complete
+
+
+def test_write_resumes_after_failure():
+    """Crash a node mid-write: after recovery the re-executed write
+    skips the committed segments and only writes the remainder."""
+    sim, machine = make(seed=1)
+    attempts = {}
+
+    def app(fmi):
+        # Big declared size so each segment takes real simulated time.
+        data = Payload.synthetic(2e9, seed=fmi.rank, rep_bytes=4096)
+        yield from fmi.init()
+        n = yield from fmi.loop([data])
+        cio = CollectiveFile(fmi, "bigfile", segment_bytes=100e6)  # 20 segments
+        fresh = yield from cio.write_all(data)
+        attempts.setdefault(fmi.rank, []).append(fresh)
+        yield from fmi.finalize()
+        return cio.complete
+
+    job = FmiJob(machine, app, num_ranks=8, procs_per_node=2,
+                 config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=1))
+    done = job.launch()
+
+    def killer():
+        # Strike when the collective write is demonstrably in flight:
+        # some segments committed, but nowhere near all 160.
+        while True:
+            yield sim.timeout(0.02)
+            segs = sum(1 for p in machine.pfs.listdir() if "/seg" in p)
+            if segs >= 30:
+                break
+        job.fmirun.node_slots[1].crash("mid-write")
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert all(results)
+    assert job.recovery_count == 1
+    # The interrupted first attempt never records (the exception
+    # unwinds before the append), so every recorded entry is the
+    # post-recovery attempt: fewer than 20 fresh segments everywhere
+    # means committed pre-failure segments were reused -- the write
+    # "continued in the middle without starting over" (§VIII).
+    assert set(attempts) == set(range(8))
+    for rank, a in attempts.items():
+        assert a[-1] < 20, f"rank {rank} restarted its write from scratch"
+    # Even the replaced node's ranks resumed their predecessors' files.
+    replaced = [a[-1] for r, a in attempts.items() if r in (2, 3)]
+    assert all(v < 20 for v in replaced)
+
+
+def test_second_write_all_is_noop():
+    sim, machine = make()
+
+    def app(fmi):
+        data = Payload.wrap(b"hello world " * 10)
+        yield from fmi.init()
+        yield from fmi.loop([data])
+        cio = CollectiveFile(fmi, "f", segment_bytes=40)
+        first = yield from cio.write_all(data)
+        second = yield from cio.write_all(data)
+        yield from fmi.finalize()
+        return (first, second)
+
+    job = FmiJob(machine, app, num_ranks=2, procs_per_node=1,
+                 config=FmiConfig(interval=1, xor_group_size=2, spare_nodes=0))
+    results = sim.run(until=job.launch())
+    for first, second in results:
+        assert first == 3  # 120 bytes / 40
+        assert second == 0  # already complete
+
+
+def test_segment_validation():
+    sim, machine = make()
+
+    def app(fmi):
+        yield from fmi.init()
+        with pytest.raises(ValueError):
+            CollectiveFile(fmi, "x", segment_bytes=0)
+        yield from fmi.finalize()
+
+    job = FmiJob(machine, app, num_ranks=2, procs_per_node=1,
+                 config=FmiConfig(xor_group_size=2, spare_nodes=0,
+                                  checkpoint_enabled=False))
+    sim.run(until=job.launch())
+
+
+def test_read_back_missing_returns_none():
+    sim, machine = make()
+
+    def app(fmi):
+        yield from fmi.init()
+        cio = CollectiveFile(fmi, "never-written")
+        result = yield from cio.read_back()
+        yield from fmi.finalize()
+        return result
+
+    job = FmiJob(machine, app, num_ranks=2, procs_per_node=1,
+                 config=FmiConfig(xor_group_size=2, spare_nodes=0,
+                                  checkpoint_enabled=False))
+    assert sim.run(until=job.launch()) == [None, None]

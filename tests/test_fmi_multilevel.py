@@ -1,0 +1,166 @@
+"""Multilevel C/R (level-2 PFS checkpoints) -- the paper's §VIII
+future work, implemented: failures beyond XOR protection recover from
+the PFS instead of aborting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.fmi.errors import FmiAbort
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def make(num_nodes=12, seed=0):
+    sim = Simulator()
+    return sim, Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+
+
+def app_factory(num_loops, work=0.5):
+    def app(fmi):
+        u = np.zeros(6, dtype=np.float64)
+        yield from fmi.init()
+        while True:
+            n = yield from fmi.loop([u])
+            if n >= num_loops:
+                break
+            yield fmi.elapse(work)
+            u[0] = n + 1.0
+            u[1] = yield from fmi.allreduce(float(n))
+        yield from fmi.finalize()
+        return u.copy()
+
+    return app
+
+
+def launch(sim, machine, num_loops=6, level2_every=2, spares=2, work=0.5):
+    job = FmiJob(
+        machine, app_factory(num_loops, work), num_ranks=16, procs_per_node=2,
+        config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=spares,
+                         level2_every=level2_every),
+    )
+    return job, job.launch()
+
+
+def test_level2_flushes_at_cadence():
+    sim, machine = make()
+    job, done = launch(sim, machine, num_loops=6, level2_every=2, work=0.05)
+    sim.run(until=done)
+    # Checkpoints at loops 0..6; L2 flushes at 0, 2, 4, 6.
+    assert job.level2_flushes == 4
+    assert job.level2_restores == 0
+    # Only the two newest L2 datasets survive pruning.
+    l2sets = {p.split("/")[2] for p in machine.pfs.listdir() if "/ds" in p}
+    assert len(l2sets) == 2
+
+
+def test_same_group_double_failure_recovers_via_level2():
+    # Without level 2 this exact scenario aborts
+    # (test_two_failures_in_one_xor_group_aborts); with it, the job
+    # rolls back to the PFS dataset and completes correctly.
+    sim, machine = make(seed=3)
+    job, done = launch(sim, machine, num_loops=6, level2_every=1)
+
+    def killer():
+        yield sim.timeout(2.5)
+        machine.fail_nodes([0, 1], cause="same-group-double")
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert job.level2_restores > 0
+    for u in results:
+        assert u[0] == 6.0
+
+
+def test_level2_restore_reseeds_level1():
+    """After a level-2 restore, a later single-node failure must again
+    be recoverable by plain XOR (the cheap tier is re-armed)."""
+    sim, machine = make(14, seed=4)
+    job, done = launch(sim, machine, num_loops=14, level2_every=1, spares=4)
+
+    def killer():
+        yield sim.timeout(2.5)
+        machine.fail_nodes([0, 1], cause="beyond-xor")  # level-2 recovery
+        yield sim.timeout(3.5)
+        job.fmirun.node_slots[4].crash("single")  # plain XOR recovery
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert job.recovery_count == 2
+    assert job.level2_restores >= 1
+    # The second recovery was level-1 only.
+    assert job.level2_restores == 1
+    for u in results:
+        assert u[0] == 14.0
+
+
+def test_whole_group_wipe_recovers_via_level2():
+    # Group 0's nodes are 0..3 (group size 4): wipe all of them.
+    sim, machine = make(14, seed=5)
+    job, done = launch(sim, machine, num_loops=6, level2_every=1, spares=4)
+
+    def killer():
+        yield sim.timeout(2.5)
+        machine.fail_nodes([0, 1, 2, 3], cause="group-wipe")
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert job.level2_restores > 0
+    for u in results:
+        assert u[0] == 6.0
+
+
+def test_beyond_xor_without_level2_still_aborts():
+    sim, machine = make(seed=6)
+    job = FmiJob(
+        machine, app_factory(6), num_ranks=16, procs_per_node=2,
+        config=FmiConfig(interval=1, xor_group_size=4, spare_nodes=2),
+    )
+    done = job.launch()
+
+    def killer():
+        yield sim.timeout(2.5)
+        machine.fail_nodes([0, 1], cause="no-l2")
+
+    sim.spawn(killer())
+    with pytest.raises(FmiAbort):
+        sim.run(until=done)
+
+
+def test_beyond_xor_before_any_level2_cold_starts():
+    """Two same-group nodes die before the first checkpoint completes:
+    no level-1 and no level-2 data -> cold start, still correct."""
+    sim, machine = make(seed=7)
+    job, done = launch(sim, machine, num_loops=4, level2_every=1)
+
+    def killer():
+        yield sim.timeout(0.05)  # during spawn/H1, pre-checkpoint
+        machine.fail_nodes([0, 1], cause="early-double")
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert job.level2_restores == 0
+    for u in results:
+        assert u[0] == 4.0
+
+
+def test_level2_rollback_depth_respects_cadence():
+    """With level2_every=3 and a beyond-XOR failure late in the run,
+    the job rolls back to the last *flushed* dataset, losing the
+    iterations since -- the classic multilevel trade-off."""
+    sim, machine = make(seed=8)
+    job, done = launch(sim, machine, num_loops=9, level2_every=3, work=0.5)
+    restored_ids = []
+
+    # Observe restore by wrapping rank completion values instead:
+    def killer():
+        yield sim.timeout(4.6)  # after ~ loop 7-8, L2 flushed at 0,3,6
+        machine.fail_nodes([0, 1], cause="late-double")
+
+    sim.spawn(killer())
+    results = sim.run(until=done)
+    assert job.level2_restores > 0
+    for u in results:
+        assert u[0] == 9.0

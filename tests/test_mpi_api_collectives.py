@@ -1,0 +1,265 @@
+"""MPI API: point-to-point, collectives, communicators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.mpi.ops import MAX, MIN, PROD, SUM
+from repro.mpi.runtime import MpiJob
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def run_app(app, nprocs, ppn=1, num_nodes=8, seed=0):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+    job = MpiJob(machine, app, nprocs, procs_per_node=ppn, charge_init=False)
+    done = job.launch()
+    return sim.run(until=done)
+
+
+# ------------------------------------------------------------ point-to-point
+def test_send_recv_pair():
+    def app(mpi):
+        if mpi.rank == 0:
+            yield mpi.send(1, {"x": 42})
+            return "sent"
+        if mpi.rank == 1:
+            data = yield from mpi.recv(0)
+            return data["x"]
+        return None
+        yield  # pragma: no cover
+
+    assert run_app(app, 2) == ["sent", 42, None][:2] or True
+    results = run_app(app, 2)
+    assert results == ["sent", 42]
+
+
+def test_numpy_payload_copied_at_send():
+    def app(mpi):
+        if mpi.rank == 0:
+            arr = np.arange(4)
+            yield mpi.send(1, arr)
+            arr[:] = -1  # must not corrupt the in-flight message
+            return None
+        got = yield from mpi.recv(0)
+        return got.tolist()
+
+    assert run_app(app, 2)[1] == [0, 1, 2, 3]
+
+
+def test_sendrecv_ring_shift():
+    def app(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        got = yield from mpi.sendrecv(right, mpi.rank, source=left)
+        return got
+
+    results = run_app(app, 4)
+    assert results == [3, 0, 1, 2]
+
+
+def test_tags_disambiguate():
+    def app(mpi):
+        if mpi.rank == 0:
+            yield mpi.send(1, "a", tag=1)
+            yield mpi.send(1, "b", tag=2)
+            return None
+        second = yield from mpi.recv(0, tag=2)
+        first = yield from mpi.recv(0, tag=1)
+        return (first, second)
+
+    assert run_app(app, 2)[1] == ("a", "b")
+
+
+def test_any_source():
+    def app(mpi):
+        if mpi.rank == 0:
+            got = []
+            for _ in range(mpi.size - 1):
+                data = yield from mpi.recv(mpi.ANY_SOURCE)
+                got.append(data)
+            return sorted(got)
+        yield mpi.send(0, mpi.rank)
+        return None
+
+    assert run_app(app, 4)[0] == [1, 2, 3]
+
+
+# ---------------------------------------------------------------- collectives
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 6, 8])
+def test_allreduce_sum_all_sizes(nprocs):
+    def app(mpi):
+        total = yield from mpi.allreduce(mpi.rank + 1, SUM)
+        return total
+
+    expected = nprocs * (nprocs + 1) // 2
+    assert run_app(app, nprocs) == [expected] * nprocs
+
+
+@pytest.mark.parametrize("op,expected", [(MAX, 7), (MIN, 0), (SUM, 28)])
+def test_allreduce_ops(op, expected):
+    def app(mpi):
+        r = yield from mpi.allreduce(mpi.rank, op)
+        return r
+
+    assert run_app(app, 8) == [expected] * 8
+
+
+def test_allreduce_numpy_arrays():
+    def app(mpi):
+        v = np.full(3, float(mpi.rank + 1))
+        out = yield from mpi.allreduce(v, SUM)
+        return out.tolist()
+
+    results = run_app(app, 4)
+    assert all(r == [10.0, 10.0, 10.0] for r in results)
+
+
+@pytest.mark.parametrize("root", [0, 2])
+@pytest.mark.parametrize("nprocs", [2, 5, 8])
+def test_bcast(root, nprocs):
+    if root >= nprocs:
+        pytest.skip("root out of range")
+
+    def app(mpi):
+        value = f"payload-{root}" if mpi.rank == root else None
+        out = yield from mpi.bcast(value, root=root)
+        return out
+
+    assert run_app(app, nprocs) == [f"payload-{root}"] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 8])
+def test_reduce_to_root(nprocs):
+    def app(mpi):
+        out = yield from mpi.reduce(2 ** mpi.rank, SUM, root=0)
+        return out
+
+    results = run_app(app, nprocs)
+    assert results[0] == 2**nprocs - 1
+    assert all(r is None for r in results[1:])
+
+
+def test_reduce_prod_nonzero_root():
+    def app(mpi):
+        out = yield from mpi.reduce(mpi.rank + 1, PROD, root=1)
+        return out
+
+    assert run_app(app, 4)[1] == 24
+
+
+def test_barrier_synchronises():
+    def app(mpi):
+        # Stagger arrivals; everyone must leave at/after the last arrival.
+        yield mpi.elapse(float(mpi.rank))
+        yield from mpi.barrier()
+        return mpi.now
+
+    times = run_app(app, 4)
+    assert all(t >= 3.0 for t in times)
+
+
+@pytest.mark.parametrize("nprocs", [2, 5, 8])
+def test_gather(nprocs):
+    def app(mpi):
+        out = yield from mpi.gather(mpi.rank * 10, root=0)
+        return out
+
+    results = run_app(app, nprocs)
+    assert results[0] == [r * 10 for r in range(nprocs)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 7, 8])
+def test_allgather(nprocs):
+    def app(mpi):
+        out = yield from mpi.allgather(chr(ord("a") + mpi.rank))
+        return "".join(out)
+
+    expected = "".join(chr(ord("a") + r) for r in range(nprocs))
+    assert run_app(app, nprocs) == [expected] * nprocs
+
+
+def test_scatter():
+    def app(mpi):
+        values = [r * r for r in range(mpi.size)] if mpi.rank == 0 else None
+        out = yield from mpi.scatter(values, root=0)
+        return out
+
+    assert run_app(app, 4) == [0, 1, 4, 9]
+
+
+def test_alltoall():
+    def app(mpi):
+        values = [f"{mpi.rank}->{dst}" for dst in range(mpi.size)]
+        out = yield from mpi.alltoall(values)
+        return out
+
+    results = run_app(app, 3)
+    for dst, row in enumerate(results):
+        assert row == [f"{src}->{dst}" for src in range(3)]
+
+
+# -------------------------------------------------------------- communicators
+def test_dup_isolates_traffic():
+    def app(mpi):
+        dup = yield from mpi.world.dup()
+        if mpi.rank == 0:
+            yield dup.send_async(1, "on-dup", None, 0)
+            yield mpi.send(1, "on-world")
+            return None
+        world_msg = yield from mpi.world.recv(0)
+        dup_msg = yield from dup.recv(0)
+        return (world_msg, dup_msg)
+
+    assert run_app(app, 2)[1] == ("on-world", "on-dup")
+
+
+def test_split_even_odd():
+    def app(mpi):
+        sub = yield from mpi.world.split(color=mpi.rank % 2)
+        total = yield from sub.allreduce(mpi.rank, SUM)
+        return (sub.rank, sub.size, total)
+
+    results = run_app(app, 6)
+    evens = sum(r for r in range(6) if r % 2 == 0)
+    odds = sum(r for r in range(6) if r % 2 == 1)
+    for r, (sub_rank, sub_size, total) in enumerate(results):
+        assert sub_size == 3
+        assert sub_rank == r // 2
+        assert total == (evens if r % 2 == 0 else odds)
+
+
+def test_split_with_none_color():
+    def app(mpi):
+        color = 0 if mpi.rank < 2 else None
+        sub = yield from mpi.world.split(color)
+        if sub is None:
+            return "out"
+        return ("in", sub.size)
+
+    results = run_app(app, 4)
+    assert results == [("in", 2), ("in", 2), "out", "out"]
+
+
+def test_split_key_reorders():
+    def app(mpi):
+        # Reverse the ordering via key.
+        sub = yield from mpi.world.split(color=0, key=-mpi.rank)
+        return sub.rank
+
+    assert run_app(app, 4) == [3, 2, 1, 0]
+
+
+def test_figure8_dup_and_split():
+    # The paper's Figure 8: dup FMI_COMM_WORLD, then split into pairs.
+    def app(mpi):
+        dup = yield from mpi.world.dup()
+        pair = yield from dup.split(color=mpi.rank // 2)
+        return (pair.size, pair.rank)
+
+    results = run_app(app, 8)
+    assert all(size == 2 for size, _ in results)
+    assert [rank for _, rank in results] == [0, 1] * 4

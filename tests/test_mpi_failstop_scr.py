@@ -1,0 +1,238 @@
+"""MPI fail-stop semantics, the restart driver, and SCR."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.mpi.runtime import JobAborted, MpiJob, MpiRestartDriver
+from repro.mpi.scr import Scr
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def make(num_nodes=8, seed=0):
+    sim = Simulator()
+    return sim, Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+
+
+# ------------------------------------------------------------------ fail-stop
+def test_node_crash_aborts_whole_job():
+    sim, machine = make()
+
+    def app(mpi):
+        yield mpi.elapse(100.0)
+        return "done"
+
+    job = MpiJob(machine, app, nprocs=8, procs_per_node=2, charge_init=False)
+    done = job.launch()
+
+    def killer():
+        yield sim.timeout(5.0)
+        machine.node(1).crash("hw")
+
+    sim.spawn(killer())
+    with pytest.raises(JobAborted):
+        sim.run(until=done)
+    # Fail-stop: every rank process is dead, not just node 1's.
+    assert all(not p.alive for p in job._procs)
+    assert sim.now < 100.0
+
+
+def test_rank_exception_aborts_job():
+    def app(mpi):
+        yield mpi.elapse(1.0)
+        if mpi.rank == 2:
+            raise ValueError("app bug")
+        yield mpi.elapse(100.0)
+
+    sim, machine = make()
+    job = MpiJob(machine, app, nprocs=4, charge_init=False)
+    with pytest.raises(JobAborted):
+        sim.run(until=job.launch())
+
+
+def test_mpi_init_cost_charged():
+    def app(mpi):
+        return mpi.now
+        yield  # pragma: no cover
+
+    sim, machine = make()
+    job = MpiJob(machine, app, nprocs=8, procs_per_node=2, charge_init=True)
+    results = sim.run(until=job.launch())
+    expected = machine.spec.mpi_init_time(8)
+    assert job.init_done_at >= expected
+    assert all(t >= expected for t in results)
+
+
+def test_own_allocation_released_on_completion():
+    def app(mpi):
+        yield mpi.elapse(1.0)
+
+    sim, machine = make()
+    assert machine.rm.idle_count == 8
+    job = MpiJob(machine, app, nprocs=4, procs_per_node=1)
+    sim.run(until=job.launch())
+    assert machine.rm.idle_count == 8
+
+
+def test_job_validation():
+    sim, machine = make()
+    with pytest.raises(ValueError):
+        MpiJob(machine, lambda api: iter(()), nprocs=5, procs_per_node=2)
+    with pytest.raises(ValueError):
+        MpiJob(machine, lambda api: iter(()), nprocs=0)
+
+
+# ------------------------------------------------------------- restart driver
+def make_scr_app(num_loops, work, record):
+    """Traditional C/R app: restart from SCR, loop, checkpoint each
+    iteration."""
+
+    def app(mpi):
+        scr = Scr(mpi, procs_per_node=2, group_size=4, interval=1)
+        u = np.zeros(8, dtype=np.float64)
+        start = 0
+        found = yield from scr.restart()
+        if found is not None:
+            dataset_id, payloads = found
+            yield from scr.restore_into([u], payloads)
+            start = dataset_id + 1
+        record.append((mpi.rank, "start", start))
+        for n in range(start, num_loops):
+            yield mpi.elapse(work)
+            u[0] = n + 1.0
+            total = yield from mpi.allreduce(float(n))
+            u[1] = total
+            yield from scr.checkpoint([u], dataset_id=n)
+        yield from mpi.barrier()
+        return u.copy()
+
+    return app
+
+
+def test_restart_driver_completes_without_failures():
+    sim, machine = make(10)
+    record = []
+    driver = MpiRestartDriver(
+        machine, make_scr_app(4, 0.1, record), nprocs=8, procs_per_node=2
+    )
+    proc = sim.spawn(driver.run())
+    sim.run()
+    results = proc.value
+    assert driver.restarts == 0
+    for u in results:
+        assert u[0] == 4.0
+
+
+def test_restart_driver_recovers_from_node_crash():
+    sim, machine = make(10, seed=1)
+    record = []
+    driver = MpiRestartDriver(
+        machine, make_scr_app(6, 0.5, record), nprocs=8, procs_per_node=2
+    )
+    proc = sim.spawn(driver.run())
+
+    def killer():
+        # Crash a node of the first job's allocation mid-run.
+        yield sim.timeout(machine.spec.mpi_init_time(8) + 1.5)
+        node = driver.jobs[0].nodes[1]
+        node.crash("injected")
+
+    sim.spawn(killer())
+    sim.run()
+    results = proc.value
+    assert driver.restarts == 1
+    for u in results:
+        assert u[0] == 6.0
+    # Second attempt resumed from a checkpoint, not from scratch.
+    starts = [s for r, tag, s in record if tag == "start"]
+    assert max(starts) > 0
+    # The replaced node's ranks rebuilt their files from the XOR group:
+    # they also resumed from the same dataset (group-consistent).
+    assert len({s for s in starts[8:]}) == 1
+
+
+def test_restart_driver_respects_max_restarts():
+    sim, machine = make(10, seed=2)
+
+    def hopeless(mpi):
+        yield mpi.elapse(1000.0)
+
+    driver = MpiRestartDriver(
+        machine, hopeless, nprocs=8, procs_per_node=2, max_restarts=1
+    )
+    proc = sim.spawn(driver.run())
+
+    def killer():
+        while True:
+            yield sim.timeout(30.0)
+            for job in driver.jobs[::-1]:
+                live = [n for n in job.nodes if n.alive]
+                if live:
+                    live[0].crash("again")
+                    break
+
+    k = sim.spawn(killer())
+    with pytest.raises(JobAborted):
+        sim.run(until=proc)
+    assert driver.restarts == 2  # max_restarts=1 allows one relaunch
+    k.kill()
+
+
+# ------------------------------------------------------------------------ SCR
+def test_scr_level2_flush_to_pfs():
+    sim, machine = make(10)
+
+    def app(mpi):
+        scr = Scr(mpi, procs_per_node=2, group_size=4, interval=1)
+        u = np.full(16, float(mpi.rank), dtype=np.float64)
+        yield from scr.checkpoint([u], dataset_id=0)
+        yield from scr.flush_to_pfs(0)
+        return machine.pfs.exists(f"scr/l2/ds0/rank{mpi.rank}")
+
+    job = MpiJob(machine, app, nprocs=8, procs_per_node=2, charge_init=False)
+    results = sim.run(until=job.launch())
+    assert all(results)
+
+
+def test_scr_vaidya_mtbf_mode_sets_interval():
+    sim, machine = make(10)
+    intervals = {}
+
+    def app(mpi):
+        scr = Scr(mpi, procs_per_node=2, group_size=4, mtbf_seconds=60.0)
+        u = np.zeros(1024, dtype=np.float64)
+        assert scr.need_checkpoint()  # first call always checkpoints
+        yield from scr.checkpoint([u], dataset_id=0)
+        intervals[mpi.rank] = scr.policy.time_interval
+        return None
+
+    job = MpiJob(machine, app, nprocs=8, procs_per_node=2, charge_init=False)
+    sim.run(until=job.launch())
+    assert all(iv is not None and iv > 0 for iv in intervals.values())
+
+
+def test_scr_tmpfs_cost_exceeds_fmi_memcpy():
+    """The SCR filesystem detour must be slower than FMI's raw memcpy
+    for the same data -- the mechanism behind Fig 15's 10.3 % gap."""
+    from repro.fmi.checkpoint import MemoryStorage, TmpfsStorage
+    from repro.fmi.payload import Payload
+
+    sim, machine = make(2)
+    node = machine.node(0)
+    p = Payload.synthetic(800e6, seed=0)
+
+    def timed(storage):
+        t0 = sim.now
+
+        def run():
+            yield from storage.store("k", p)
+
+        proc = sim.spawn(run())
+        sim.run(until=proc)
+        return sim.now - t0
+
+    t_mem = timed(MemoryStorage(node))
+    t_fs = timed(TmpfsStorage(node, "x"))
+    assert t_fs > t_mem * 2

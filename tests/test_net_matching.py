@@ -1,0 +1,135 @@
+"""Matching-engine semantics: wildcards, FIFO, unexpected queue, reset."""
+
+import pytest
+
+from repro.net.matching import ANY_SOURCE, ANY_TAG, MatchingEngine, RecvCancelled
+from repro.net.message import Envelope
+from repro.simt import Simulator
+
+
+def env(src=0, dst=1, tag=0, comm=0, epoch=0, nbytes=8, data=None):
+    return Envelope(src, dst, tag, comm, epoch, nbytes, data)
+
+
+def drain(sim):
+    sim.run()
+
+
+def test_posted_then_delivered():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=0, tag=5, comm_id=0)
+    eng.deliver(env(src=0, tag=5, data="hi"))
+    drain(sim)
+    assert recv.value.data == "hi"
+
+
+def test_unexpected_then_posted():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    eng.deliver(env(src=3, tag=1, data="early"))
+    assert eng.unexpected_count == 1
+    recv = eng.post(source=3, tag=1, comm_id=0)
+    drain(sim)
+    assert recv.value.data == "early"
+    assert eng.unexpected_count == 0
+    assert eng.matched_unexpected == 1
+
+
+def test_fifo_per_source_tag():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    for i in range(3):
+        eng.deliver(env(src=0, tag=0, data=i))
+    values = []
+    for _ in range(3):
+        r = eng.post(source=0, tag=0, comm_id=0)
+        drain(sim)
+        values.append(r.value.data)
+    assert values == [0, 1, 2]
+
+
+def test_wildcard_source():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=ANY_SOURCE, tag=7, comm_id=0)
+    eng.deliver(env(src=9, tag=7, data="any"))
+    drain(sim)
+    assert recv.value.src == 9
+
+
+def test_wildcard_tag():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=2, tag=ANY_TAG, comm_id=0)
+    eng.deliver(env(src=2, tag=99, data="tagged"))
+    drain(sim)
+    assert recv.value.tag == 99
+
+
+def test_no_match_across_comms():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=0, tag=0, comm_id=1)
+    eng.deliver(env(src=0, tag=0, comm=2))
+    drain(sim)
+    assert not recv.triggered
+    assert eng.unexpected_count == 1
+
+
+def test_no_match_wrong_tag_waits():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=0, tag=1, comm_id=0)
+    eng.deliver(env(src=0, tag=2))
+    assert eng.unexpected_count == 1
+    eng.deliver(env(src=0, tag=1, data="yes"))
+    drain(sim)
+    assert recv.value.data == "yes"
+
+
+def test_multiple_posted_matched_in_post_order():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    r1 = eng.post(source=ANY_SOURCE, tag=ANY_TAG, comm_id=0)
+    r2 = eng.post(source=ANY_SOURCE, tag=ANY_TAG, comm_id=0)
+    eng.deliver(env(data="first"))
+    eng.deliver(env(data="second"))
+    drain(sim)
+    assert r1.value.data == "first"
+    assert r2.value.data == "second"
+
+
+def test_probe_nondestructive():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    assert eng.probe(0, 0, 0) is None
+    eng.deliver(env(src=0, tag=0, data="peek"))
+    assert eng.probe(0, 0, 0).data == "peek"
+    assert eng.unexpected_count == 1
+
+
+def test_reset_cancels_and_purges():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    recv = eng.post(source=0, tag=0, comm_id=0)
+    eng.deliver(env(src=1, tag=1, data="stale"))
+    cancelled, purged = eng.reset()
+    assert (cancelled, purged) == (1, 1)
+    drain(sim)
+    assert not recv.ok
+    assert isinstance(recv.value, RecvCancelled)
+    assert eng.unexpected_count == 0
+
+
+def test_reset_empty_is_noop():
+    eng = MatchingEngine(Simulator())
+    assert eng.reset() == (0, 0)
+
+
+def test_delivery_counter():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    eng.deliver(env())
+    eng.deliver(env())
+    assert eng.delivered == 2

@@ -1,0 +1,123 @@
+"""Overlay topology math: the paper's Figure 7 example and the hop bound."""
+
+import math
+
+import pytest
+
+from repro.net.overlay import (
+    complete_neighbors,
+    establishment_connections,
+    logring_neighbors,
+    max_notification_hops_bound,
+    notification_hops,
+    notification_schedule,
+    ring_neighbors,
+    undirected_neighbors,
+)
+
+
+def test_figure7_example_outgoing():
+    # n=16: process 0 connects to 1, 2, 4, and 8.
+    assert logring_neighbors(0, 16) == [1, 2, 4, 8]
+
+
+def test_figure7_example_incoming():
+    # ...and receives connections from 8, 12, 14, 15.
+    incoming = sorted(
+        r for r in range(16) if 0 in logring_neighbors(r, 16)
+    )
+    assert incoming == [8, 12, 14, 15]
+
+
+def test_figure7_direct_notification_set():
+    # If process 0 fails, 1, 2, 4, 8, 12, 14, 15 get ibverbs events.
+    hops = notification_hops(16, failed=0)
+    direct = sorted(r for r, h in hops.items() if h == 1)
+    assert direct == [1, 2, 4, 8, 12, 14, 15]
+
+
+def test_figure7_all_notified_in_two_hops():
+    hops = notification_hops(16, failed=0)
+    assert set(hops) == set(range(1, 16))
+    assert max(hops.values()) == 2  # ceil(ceil(log2 16)/2) = 2
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 7, 16, 48, 100, 512, 1536])
+@pytest.mark.parametrize("failed", [0, 1])
+def test_hop_bound_holds(n, failed):
+    if failed >= n:
+        pytest.skip("failed rank out of range")
+    hops = notification_hops(n, failed=failed)
+    assert set(hops) == set(range(n)) - {failed}
+    assert max(hops.values()) <= max_notification_hops_bound(n)
+
+
+@pytest.mark.parametrize("k", [3, 4])
+def test_other_bases_cover_everyone_within_logk(k):
+    # The paper only proves the /2 bound for k=2 ("we leave the
+    # optimization of k for future work"); for larger bases we check
+    # full coverage within ceil(log_k n) hops and the establishment
+    # tradeoff: fewer levels, more hops.
+    n = 81
+    hops = notification_hops(n, failed=5, k=k)
+    assert set(hops) == set(range(n)) - {5}
+    assert max(hops.values()) <= math.ceil(math.log(n, k))
+
+
+def test_logring_connection_count_logarithmic():
+    for n in (16, 64, 1024):
+        assert len(logring_neighbors(0, n)) == int(math.log2(n))
+
+
+def test_ring_and_complete_shapes():
+    assert ring_neighbors(5, 8) == [6]
+    assert ring_neighbors(7, 8) == [0]
+    assert ring_neighbors(0, 1) == []
+    assert complete_neighbors(0, 4) == [1, 2, 3]
+    assert complete_neighbors(3, 4) == []
+
+
+def test_establishment_cost_ordering():
+    # complete >> logring > ring, the paper's establishment-cost tradeoff.
+    n = 64
+    ring = establishment_connections(n, topology="ring")
+    logr = establishment_connections(n, topology="logring")
+    comp = establishment_connections(n, topology="complete")
+    assert ring == n
+    assert comp == n * (n - 1) // 2
+    assert ring < logr < comp
+
+
+def test_ring_notification_is_linear():
+    hops = notification_hops(32, failed=0, topology="ring")
+    assert max(hops.values()) == 16  # farthest rank, both directions
+
+
+def test_complete_notification_is_one_hop():
+    hops = notification_hops(32, failed=3, topology="complete")
+    assert set(hops.values()) == {1}
+
+
+def test_notification_schedule_times():
+    sched = notification_schedule(16, failed=0, close_delay=0.2, hop_delay=0.025)
+    assert sched[1] == pytest.approx(0.2)  # direct neighbour
+    two_hop = [r for r, t in sched.items() if t == pytest.approx(0.225)]
+    assert two_hop  # somebody needs the cascade
+
+
+def test_small_n_edge_cases():
+    assert logring_neighbors(0, 1) == []
+    assert logring_neighbors(0, 2) == [1]
+    assert notification_hops(2, failed=0) == {1: 1}
+    assert max_notification_hops_bound(2) == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        logring_neighbors(0, 0)
+    with pytest.raises(ValueError):
+        logring_neighbors(5, 4)
+    with pytest.raises(ValueError):
+        logring_neighbors(0, 8, k=1)
+    with pytest.raises(ValueError):
+        undirected_neighbors(8, topology="torus")

@@ -1,0 +1,111 @@
+"""Non-blocking Request API (isend/irecv/waitall) on both runtimes."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.mpi.api import Request
+from repro.mpi.runtime import MpiJob
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def run_mpi(app, nprocs, num_nodes=8, seed=0):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+    job = MpiJob(machine, app, nprocs, charge_init=False)
+    return sim.run(until=job.launch())
+
+
+def test_irecv_before_isend():
+    def app(mpi):
+        if mpi.rank == 0:
+            req = mpi.irecv(1)
+            assert not req.done()
+            data = yield from req.wait()
+            return data
+        yield mpi.elapse(0.5)
+        yield from Request.waitall([mpi.isend(0, "late")])
+        return None
+
+    assert run_mpi(app, 2)[0] == "late"
+
+
+def test_overlapping_requests_complete_out_of_order():
+    def app(mpi):
+        if mpi.rank == 0:
+            fast = mpi.irecv(1, tag=1)
+            slow = mpi.irecv(1, tag=2)
+            first = yield from fast.wait()
+            second = yield from slow.wait()
+            return (first, second)
+        yield mpi.isend(0, "one", tag=1).event
+        yield mpi.elapse(0.2)
+        yield mpi.isend(0, "two", tag=2).event
+        return None
+
+    assert run_mpi(app, 2)[0] == ("one", "two")
+
+
+def test_waitall_many_messages():
+    def app(mpi):
+        if mpi.rank == 0:
+            reqs = [mpi.irecv(src) for src in range(1, mpi.size)]
+            got = yield from Request.waitall(reqs)
+            return sorted(got)
+        yield mpi.isend(0, mpi.rank * 10).event
+        return None
+
+    assert run_mpi(app, 4)[0] == [10, 20, 30]
+
+
+def test_isend_wait_returns_none():
+    def app(mpi):
+        if mpi.rank == 0:
+            result = yield from mpi.isend(1, "x").wait()
+            return result
+        data = yield from mpi.recv(0)
+        return data
+
+    assert run_mpi(app, 2) == [None, "x"]
+
+
+def test_requests_on_fmi():
+    def app(fmi):
+        yield from fmi.init()
+        if fmi.rank == 0:
+            req = fmi.irecv(1)
+            data = yield from req.wait()
+            yield from fmi.finalize()
+            return data
+        yield fmi.isend(0, {"v": 7}).event
+        yield from fmi.finalize()
+        return None
+
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(3), RngRegistry(0))
+    job = FmiJob(machine, app, num_ranks=2,
+                 config=FmiConfig(xor_group_size=2, spare_nodes=0,
+                                  checkpoint_enabled=False))
+    results = sim.run(until=job.launch())
+    assert results[0] == {"v": 7}
+
+
+def test_done_polling():
+    def app(mpi):
+        if mpi.rank == 0:
+            req = mpi.irecv(1)
+            polls = 0
+            while not req.done():
+                polls += 1
+                yield mpi.elapse(0.05)
+            data = yield from req.wait()
+            return (polls, data)
+        yield mpi.elapse(0.3)
+        yield mpi.send(0, "polled")
+        return None
+
+    polls, data = run_mpi(app, 2)[0]
+    assert data == "polled"
+    assert polls >= 5

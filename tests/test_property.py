@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmi.payload import Payload
+from repro.fmi.xor_codec import encode_group, reconstruct_rank
+from repro.net.matching import MatchingEngine
+from repro.net.message import Envelope
+from repro.net.overlay import (
+    logring_neighbors,
+    max_notification_hops_bound,
+    notification_hops,
+)
+from repro.models.vaidya import expected_runtime_factor, optimal_interval
+from repro.simt import BandwidthResource, Simulator
+from repro.simt.rng import RngRegistry
+
+
+# ------------------------------------------------------------------ XOR codec
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    size=st.integers(1, 400),
+    f=st.integers(0, 9),
+    seed=st.integers(0, 2**31),
+)
+def test_xor_roundtrip_any_single_failure(n, size, f, seed):
+    f = f % n
+    rng = np.random.default_rng(seed)
+    payloads = [
+        Payload.wrap(rng.integers(0, 256, size, dtype=np.uint8)) for _ in range(n)
+    ]
+    parity = encode_group(payloads)
+    survivors = {r: payloads[r] for r in range(n) if r != f}
+    slots = {j: parity[j] for j in range(n) if j != f}
+    rebuilt = reconstruct_rank(
+        f, survivors, slots, n, data_len=size, nbytes=float(size)
+    )
+    assert rebuilt == payloads[f]
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 12), size=st.integers(1, 256), seed=st.integers(0, 2**31))
+def test_parity_sizes_equal_chunk(n, size, seed):
+    rng = np.random.default_rng(seed)
+    payloads = [
+        Payload.wrap(rng.integers(0, 256, size, dtype=np.uint8)) for _ in range(n)
+    ]
+    parity = encode_group(payloads)
+    chunk_len = -(-size // (n - 1))
+    assert all(p.data.nbytes == chunk_len for p in parity)
+
+
+# ------------------------------------------------------------------- payload
+@settings(max_examples=60, deadline=None)
+@given(size=st.integers(1, 1000), k=st.integers(1, 40), seed=st.integers(0, 2**31))
+def test_payload_split_join_roundtrip(size, k, seed):
+    rng = np.random.default_rng(seed)
+    p = Payload.wrap(rng.integers(0, 256, size, dtype=np.uint8))
+    chunks = p.split(k)
+    assert len({c.data.nbytes for c in chunks}) == 1
+    back = Payload.join(chunks, data_len=size, nbytes=p.nbytes)
+    assert back == p
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.binary(min_size=1, max_size=200), b=st.binary(min_size=1, max_size=200)
+)
+def test_xor_involution(a, b):
+    size = max(len(a), len(b))
+    pa = Payload.wrap(a).padded(size, float(size))
+    pb = Payload.wrap(b).padded(size, float(size))
+    orig = pa.copy()
+    pa.xor_inplace(pb).xor_inplace(pb)
+    assert pa == orig
+
+
+# ------------------------------------------------------------------ log-ring
+@settings(max_examples=80, deadline=None)
+@given(n=st.integers(2, 3000), failed=st.integers(0, 2999))
+def test_logring_hop_bound_holds(n, failed):
+    failed = failed % n
+    hops = notification_hops(n, failed)
+    assert set(hops) == set(range(n)) - {failed}
+    assert max(hops.values()) <= max_notification_hops_bound(n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(2, 3000), rank=st.integers(0, 2999))
+def test_logring_connection_count(n, rank):
+    rank = rank % n
+    conns = logring_neighbors(rank, n)
+    assert len(conns) <= math.ceil(math.log2(n))
+    assert rank not in conns
+    assert len(set(conns)) == len(conns)
+
+
+# -------------------------------------------------------------- matching FIFO
+@settings(max_examples=50, deadline=None)
+@given(
+    msgs=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=1, max_size=30
+    ),
+    seed=st.integers(0, 2**31),
+)
+def test_matching_fifo_per_source_tag(msgs, seed):
+    """Deliver a random message sequence, then drain with exact-match
+    receives: per (src, tag) stream, order must be delivery order."""
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    for i, (src, tag) in enumerate(msgs):
+        eng.deliver(Envelope(src, 0, tag, 0, 0, 8, data=(src, tag, i)))
+    streams = {}
+    for src, tag in msgs:
+        streams.setdefault((src, tag), 0)
+    for (src, tag) in sorted(streams):
+        expected = [i for i, (s, t) in enumerate(msgs) if (s, t) == (src, tag)]
+        for want in expected:
+            evt = eng.post(src, tag, 0)
+            sim.run()
+            assert evt.value.data == (src, tag, want)
+    assert eng.unexpected_count == 0
+
+
+# ------------------------------------------------------------------- Vaidya
+@settings(max_examples=40, deadline=None)
+@given(
+    c=st.floats(0.01, 100.0),
+    mtbf=st.floats(10.0, 1e6),
+    r=st.floats(0.0, 100.0),
+)
+def test_vaidya_local_optimality(c, mtbf, r):
+    t = optimal_interval(c, mtbf, r)
+    f = expected_runtime_factor(t, c, mtbf, r)
+    assert f >= 1.0
+    for factor in (0.5, 0.9, 1.1, 2.0):
+        assert expected_runtime_factor(t * factor, c, mtbf, r) >= f - 1e-9
+
+
+# -------------------------------------------------------- bandwidth resource
+@settings(max_examples=40, deadline=None)
+@given(
+    flows=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=12),
+    capacity=st.floats(10.0, 1e6),
+)
+def test_bandwidth_conservation(flows, capacity):
+    """All flows finish; total time is at least total-bytes/capacity and
+    at most what strict serialisation would take."""
+    sim = Simulator()
+    bw = BandwidthResource(sim, capacity)
+    events = [bw.transfer(n) for n in flows]
+    sim.run()
+    assert all(e.processed and e.ok for e in events)
+    total = sum(flows)
+    assert sim.now >= total / capacity * (1 - 1e-9)
+    assert sim.now <= total / capacity * (1 + 1e-6) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_rng_streams_deterministic_and_independent(seed):
+    a = RngRegistry(seed)
+    b = RngRegistry(seed)
+    assert a.stream("x").random() == b.stream("x").random()
+    c = RngRegistry(seed)
+    # Creating another stream first must not perturb "x".
+    c.stream("other").random()
+    assert c.stream("x").random() == RngRegistry(seed).stream("x").random()
+
+
+# ------------------------------------------------------------ DES determinism
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_simulation_deterministic(seed):
+    def run_once():
+        sim = Simulator()
+        rng = RngRegistry(seed).stream("load")
+        bw = BandwidthResource(sim, 1000.0)
+        trace = []
+
+        def worker(i):
+            for _ in range(3):
+                yield sim.timeout(float(rng.random()))
+                yield bw.transfer(float(rng.integers(1, 500)))
+                trace.append((i, sim.now))
+
+        for i in range(4):
+            sim.spawn(worker(i))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

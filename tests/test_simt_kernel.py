@@ -1,0 +1,146 @@
+"""Unit tests for the DES kernel: events, clock, ordering, run modes."""
+
+import pytest
+
+from repro.simt import Event, Simulator, Timeout
+from repro.simt.kernel import SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_timeouts_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    for d in (3.0, 1.0, 2.0):
+        t = sim.timeout(d)
+        t.callbacks.append(lambda e, d=d: fired.append((sim.now, d)))
+    sim.run()
+    assert fired == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        t = sim.timeout(1.0)
+        t.callbacks.append(lambda e, i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_value():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(42)
+    sim.run()
+    assert evt.processed and evt.ok and evt.value == 42
+
+
+def test_event_fail_carries_exception():
+    sim = Simulator()
+    evt = sim.event()
+    exc = ValueError("boom")
+    evt.fail(exc)
+    sim.run()
+    assert evt.processed and not evt.ok and evt.value is exc
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+    with pytest.raises(SimulationError):
+        evt.fail(ValueError())
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+    with pytest.raises(SimulationError):
+        _ = evt.ok
+
+
+def test_run_until_time_stops_clock_there():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+    evt = sim.event()
+    trigger = sim.timeout(5.0)
+    trigger.callbacks.append(lambda e: evt.succeed("done"))
+    assert sim.run(until=evt) == "done"
+    assert sim.now == 5.0
+
+
+def test_run_until_event_raises_on_failure():
+    sim = Simulator()
+    evt = sim.event()
+    trigger = sim.timeout(1.0)
+    trigger.callbacks.append(lambda e: evt.fail(RuntimeError("bad")))
+    with pytest.raises(RuntimeError, match="bad"):
+        sim.run(until=evt)
+
+
+def test_run_until_event_never_fired_raises():
+    sim = Simulator()
+    evt = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=evt)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def ping(_e):
+        t = sim.timeout(1.0)
+        t.callbacks.append(ping)
+
+    ping(None)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=100)
+
+
+def test_peek_empty_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+
+
+def test_timeout_is_event_subclass():
+    sim = Simulator()
+    assert isinstance(sim.timeout(0.0), Event)
+    assert isinstance(sim.timeout(0.0), Timeout)

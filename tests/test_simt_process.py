@@ -1,0 +1,251 @@
+"""Unit tests for generator processes: resume, interrupt, kill, join."""
+
+import pytest
+
+from repro.simt import Interrupt, Process, ProcessKilled, Simulator
+from repro.simt.kernel import SimulationError
+
+
+def test_process_runs_and_returns():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "result"
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert sim.now == 3.0
+    assert proc.ok and proc.value == "result"
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        v = yield sim.timeout(1.0, value="hello")
+        seen.append(v)
+
+    sim.spawn(worker())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5.0)
+        return 99
+
+    def parent():
+        v = yield sim.spawn(child())
+        return v + 1
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == 100
+    assert sim.now == 5.0
+
+
+def test_failed_event_raises_in_generator():
+    sim = Simulator()
+    caught = []
+
+    def worker():
+        evt = sim.event()
+        trig = sim.timeout(1.0)
+        trig.callbacks.append(lambda e: evt.fail(ValueError("x")))
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(worker())
+    sim.run()
+    assert caught == ["x"]
+
+
+def test_uncaught_exception_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        raise RuntimeError("died")
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.value, RuntimeError)
+
+
+def test_interrupt_catchable():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append(("interrupted", sim.now, i.cause))
+        yield sim.timeout(1.0)
+        log.append(("done", sim.now))
+
+    proc = sim.spawn(worker())
+
+    def do_interrupt():
+        yield sim.timeout(2.0)
+        proc.interrupt("failure-notice")
+
+    sim.spawn(do_interrupt())
+    sim.run()
+    assert log == [("interrupted", 2.0, "failure-notice"), ("done", 3.0)]
+
+
+def test_interrupt_uncaught_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(100.0)
+
+    proc = sim.spawn(worker())
+
+    def do_interrupt():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.spawn(do_interrupt())
+    sim.run()
+    assert not proc.ok and isinstance(proc.value, Interrupt)
+
+
+def test_kill_never_resumes_generator():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append("start")
+        try:
+            yield sim.timeout(100.0)
+            trace.append("resumed")  # must never happen
+        finally:
+            trace.append("finally")
+
+    proc = sim.spawn(worker())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.kill("node-crash")
+
+    sim.spawn(killer())
+    sim.run()
+    assert trace == ["start", "finally"]
+    assert not proc.ok
+    assert isinstance(proc.value, ProcessKilled)
+    assert proc.value.cause == "node-crash"
+
+
+def test_kill_is_idempotent_and_safe_after_finish():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        return 7
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == 7
+    proc.kill()  # no-op
+    proc.interrupt()  # no-op
+    assert proc.value == 7
+
+
+def test_joining_killed_process_raises():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(100.0)
+
+    def parent(c):
+        try:
+            yield c
+        except ProcessKilled:
+            return "saw-kill"
+
+    c = sim.spawn(child())
+    p = sim.spawn(parent(c))
+
+    def killer():
+        yield sim.timeout(1.0)
+        c.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert p.value == "saw-kill"
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def worker():
+        yield 42
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_yield_already_processed_event():
+    sim = Simulator()
+
+    def worker():
+        evt = sim.event()
+        evt.succeed("early")
+        yield sim.timeout(1.0)
+        v = yield evt  # processed long ago
+        return v
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == "early"
+
+
+def test_alive_property():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(2.0)
+
+    proc = sim.spawn(worker())
+    assert proc.alive
+    sim.run()
+    assert not proc.alive
+
+
+def test_active_process_visible_during_resume():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert seen == [proc]
+    assert sim.active_process is None
+
+
+def test_process_immediate_return():
+    sim = Simulator()
+
+    def worker():
+        return "quick"
+        yield  # pragma: no cover - makes this a generator
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == "quick"
