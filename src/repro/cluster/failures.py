@@ -184,6 +184,15 @@ class FailureInjector:
                 return
             record = FailureRecord(self.sim.now, ftype, self._pick_nodes(ftype))
             self.records.append(record)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "failure.inject", "failure", type=ftype.name,
+                    level=ftype.level, nodes=list(record.nodes),
+                )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter(
+                    "failures.injected", type=ftype.name
+                ).inc()
             if self.on_failure is not None:
                 self.on_failure(record)
 
@@ -242,6 +251,13 @@ class TraceInjector:
             if not self._running:
                 return
             self.replayed.append((time, list(nodes)))
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "failure.inject", "failure", type="trace",
+                    nodes=list(nodes),
+                )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter("failures.injected", type="trace").inc()
             self.kill(list(nodes))
 
 
@@ -281,4 +297,10 @@ class MtbfInjector:
                 return
             victim = int(self.rng.integers(self.num_nodes))
             self.kill_times.append(self.sim.now)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "failure.inject", "failure", type="mtbf", nodes=[victim],
+                )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter("failures.injected", type="mtbf").inc()
             self.kill(victim)

@@ -235,6 +235,15 @@ class XorCheckpointEngine:
         self.comm = comm
         self.storage = storage
         self.mem_charge = mem_charge
+        self.sim = comm.api.sim
+
+    def _trace_span(self, name: str, start: float, **args) -> None:
+        """Emit one ``ckpt`` span for this member (world identity)."""
+        api = self.comm.api
+        self.sim.tracer.complete(
+            name, "ckpt", start, rank=api.world_rank, node=api.node.id,
+            group_rank=self.comm.rank, group_size=self.comm.size, **args,
+        )
 
     # -- local dataset bookkeeping -------------------------------------------
     def completed_ids(self) -> List[int]:
@@ -276,6 +285,8 @@ class XorCheckpointEngine:
         """Snapshot ``payloads``, encode parity across the group, and
         mark the dataset complete (retaining the last ``KEEP``)."""
         n = self.comm.size
+        traced = self.sim.tracer.enabled
+        t_total = self.sim.now
         sections = [(p.data.nbytes, p.nbytes) for p in payloads]
         blob = _concat(payloads)
 
@@ -288,9 +299,22 @@ class XorCheckpointEngine:
         max_len = _round_up(max_len, max(1, n - 1))
         blob = blob.padded(max_len, nbytes=max_declared)
 
+        t_phase = self.sim.now
         yield from self.storage.store(_blob_key(dataset_id), blob)
+        if traced:
+            self._trace_span("ckpt.snapshot", t_phase, dataset=dataset_id,
+                             nbytes=blob.nbytes)
+        t_phase = self.sim.now
         parity = yield from self._ring_encode(blob)
+        if traced:
+            self._trace_span("ckpt.encode", t_phase, dataset=dataset_id,
+                             nbytes=blob.nbytes)
+        t_phase = self.sim.now
         yield from self.storage.store(_parity_key(dataset_id), parity)
+        if traced:
+            self._trace_span("ckpt.parity_store", t_phase, dataset=dataset_id,
+                             nbytes=parity.nbytes)
+        t_phase = self.sim.now
         meta = CheckpointDataset(dataset_id, sections, max_len, blob.nbytes)
         # Metadata is tiny; replicate the whole group's metas everywhere
         # (as SCR does) so any survivor can describe a lost member's
@@ -308,6 +332,16 @@ class XorCheckpointEngine:
         for old in ids[: -self.KEEP]:
             self._drop_dataset(old)
         yield from self._store_completed(ids[-self.KEEP :])
+        if traced:
+            self._trace_span("ckpt.meta", t_phase, dataset=dataset_id)
+            self._trace_span("ckpt.checkpoint", t_total, dataset=dataset_id,
+                             nbytes=blob.nbytes)
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter("ckpt.checkpoints").inc()
+            metrics.histogram("ckpt.checkpoint_s").observe(
+                self.sim.now - t_total
+            )
         return meta
 
     def _ring_encode(self, blob: Payload):
@@ -353,6 +387,24 @@ class XorCheckpointEngine:
         the level-2 fallback.  Otherwise
         :class:`UnrecoverableFailure` is raised.
         """
+        t0 = self.sim.now
+        result = yield from self._restore_inner(world_agree, allow_beyond_xor)
+        if self.sim.tracer.enabled:
+            if result == "beyond-xor":
+                outcome, dataset = "beyond-xor", None
+            elif result is None:
+                outcome, dataset = "cold-start", None
+            else:
+                outcome, dataset = "restored", result[0].dataset_id
+            self._trace_span("ckpt.restore", t0, outcome=outcome,
+                             dataset=dataset)
+        metrics = self.sim.metrics
+        if metrics.enabled and result not in (None, "beyond-xor"):
+            metrics.counter("ckpt.restores").inc()
+            metrics.histogram("ckpt.restore_s").observe(self.sim.now - t0)
+        return result
+
+    def _restore_inner(self, world_agree, allow_beyond_xor: bool):
         mine = self.completed_ids()
         entries = yield from self.comm.allgather(list(mine), nbytes=16.0)
         missing = [pos for pos, ids in enumerate(entries) if not ids]
@@ -411,14 +463,22 @@ class XorCheckpointEngine:
 
         f = missing[0]
         if self.comm.rank == f:
+            t_rebuild = self.sim.now
             blob, parity, group_meta = yield from self._receive_rebuilt(f)
+            if self.sim.tracer.enabled:
+                self._trace_span("ckpt.rebuild", t_rebuild, dataset=dataset,
+                                 role="replacement")
             yield from self.storage.store(_blob_key(dataset), blob)
             yield from self.storage.store(_parity_key(dataset), parity)
             yield from self.storage.store_meta(_meta_key(dataset), group_meta)
             yield from self._store_completed([dataset])
             meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
             return meta, _slice(blob, meta)
+        t_rebuild = self.sim.now
         blob = yield from self._pipeline_contribute(f, dataset)
+        if self.sim.tracer.enabled:
+            self._trace_span("ckpt.rebuild", t_rebuild, dataset=dataset,
+                             role="survivor")
         meta = yield from self._my_meta(dataset)
         return meta, _slice(blob, meta)
 

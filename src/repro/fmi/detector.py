@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.net.endpoint import Connection, ConnectionManager
-from repro.net.overlay import logring_neighbors
+from repro.net.overlay import hops_of_reason, logring_neighbors
 
 __all__ = ["LogRingDetector"]
 
@@ -78,6 +78,13 @@ class LogRingDetector:
             conn.on_disconnect((peer, epoch), self._on_event)
             self._conns[rank].append(conn)
             self._conns.setdefault(peer, []).append(conn)
+        sim = self.job.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "overlay.join", "overlay", rank=rank, node=fproc.node.id,
+                incarnation=fproc.incarnation, epoch=epoch,
+                edges=len(self._conns[rank]),
+            )
 
     def leave(self, rank: int) -> None:
         """Silently drop a rank's overlay edges (finished rank)."""
@@ -106,5 +113,15 @@ class LogRingDetector:
             for other in self._conns.pop(rank, []):
                 if other.open:
                     other.close_from((rank, epoch), reason=f"cascade:{reason}")
-            self.notifications.append((rank, self.job.sim.now, generation))
+            sim = self.job.sim
+            self.notifications.append((rank, sim.now, generation))
+            hop = hops_of_reason(reason)
+            if sim.tracer.enabled:
+                sim.tracer.instant(
+                    "overlay.notified", "overlay", rank=rank,
+                    node=fproc.node.id, incarnation=fproc.incarnation,
+                    epoch=generation, hop=hop, reason=reason,
+                )
+            if sim.metrics.enabled:
+                sim.metrics.histogram("overlay.notify_hops").observe(hop)
         fproc.notify_failure(generation, reason)

@@ -132,6 +132,22 @@ class FmiJob:
             self.recovered_at[epoch] = self.sim.now
             if epoch == 0:
                 self.init_done_at = self.sim.now
+            if self.sim.tracer.enabled and epoch > 0:
+                start = self.recovery_causes[epoch - 1][0] if (
+                    epoch - 1 < len(self.recovery_causes)
+                ) else self.sim.now
+                self.sim.tracer.complete(
+                    "recovery", "recovery", start, epoch=epoch,
+                    cause=self.recovery_causes[epoch - 1][1] if (
+                        epoch - 1 < len(self.recovery_causes)
+                    ) else "",
+                )
+            if self.sim.metrics.enabled and epoch > 0:
+                latency = self.recovery_latency(epoch)
+                if latency is not None:
+                    self.sim.metrics.histogram(
+                        "fmi.recovery_latency_s"
+                    ).observe(latency)
 
     def make_api(self, fproc: FmiProcess) -> FmiContext:
         return FmiContext(fproc)

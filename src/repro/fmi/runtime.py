@@ -84,6 +84,11 @@ class FmiProcess:
             return
         self.notified_gen = generation
         self._notified_pending = True
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "fmi.notify", "recovery", rank=self.rank, node=self.node.id,
+                incarnation=self.incarnation, epoch=generation, reason=reason,
+            )
         self.proc.interrupt(FailureNotified(generation, reason))
 
     # -- the state machine ----------------------------------------------------------
@@ -92,6 +97,12 @@ class FmiProcess:
         self.job.transitions.record(
             self.sim.now, self.rank, self.incarnation, state, self.job.epoch
         )
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "fmi.state", "state", rank=self.rank, node=self.node.id,
+                incarnation=self.incarnation, epoch=self.job.epoch,
+                state=state.value,
+            )
 
     def _main(self):
         job = self.job
@@ -268,6 +279,13 @@ class Fmirun:
         self._last_bump_time = self.sim.now
         job.epoch += 1
         job.recovery_causes.append((self.sim.now, cause))
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "recovery.begin", "recovery", epoch=job.epoch, cause=cause,
+            )
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("fmi.recoveries").inc()
+            self.sim.metrics.gauge("fmi.epoch").set(job.epoch)
         if job.config.max_recoveries is not None and job.epoch > job.config.max_recoveries:
             job.abort(FmiAbort(f"exceeded max_recoveries={job.config.max_recoveries}"))
             return

@@ -13,7 +13,7 @@ transport, which (as on the real hardware) reports nothing.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Set, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.cluster.machine import Machine
 from repro.cluster.node import Node
@@ -100,8 +100,12 @@ class ConnectionManager:
         self.close_delay = net.ibverbs_close_delay
         self.hop_delay = net.notify_hop_delay
         self.connect_cost = net.overlay_connect_cost
-        self._by_node: Dict[int, Set[Connection]] = {}
-        self._all: Set[Connection] = set()
+        # Insertion-ordered (dict-as-set): on a node death the
+        # disconnect timers must be scheduled in establishment order,
+        # not in hash/memory-address order, or replays of the same
+        # seed diverge in same-instant event ordering.
+        self._by_node: Dict[int, Dict[Connection, None]] = {}
+        self._all: Dict[Connection, None] = {}
         machine.on_node_death(self._on_node_death)
 
     # -- establishment ----------------------------------------------------
@@ -112,9 +116,9 @@ class ConnectionManager:
         if not (node_a.alive and node_b.alive):
             raise ConnectionError("cannot connect: endpoint node is down")
         conn = Connection(self, key_a, node_a, key_b, node_b)
-        self._all.add(conn)
-        self._by_node.setdefault(node_a.id, set()).add(conn)
-        self._by_node.setdefault(node_b.id, set()).add(conn)
+        self._all[conn] = None
+        self._by_node.setdefault(node_a.id, {})[conn] = None
+        self._by_node.setdefault(node_b.id, {})[conn] = None
         return conn
 
     @property
@@ -123,11 +127,11 @@ class ConnectionManager:
 
     # -- plumbing ------------------------------------------------------------
     def _forget(self, conn: Connection) -> None:
-        self._all.discard(conn)
+        self._all.pop(conn, None)
         for node in conn.nodes.values():
             bucket = self._by_node.get(node.id)
             if bucket is not None:
-                bucket.discard(conn)
+                bucket.pop(conn, None)
 
     def _notify(self, conn: Connection, key: Any, reason: str, delay: float) -> None:
         cb = conn._cbs.get(key)

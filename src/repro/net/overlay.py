@@ -29,7 +29,34 @@ __all__ = [
     "notification_schedule",
     "max_notification_hops_bound",
     "establishment_connections",
+    "cascade_depth",
+    "hops_of_reason",
 ]
+
+_CASCADE_PREFIX = "cascade:"
+
+
+def cascade_depth(reason: str) -> int:
+    """Explicit-close cascade steps encoded in a disconnect reason.
+
+    Each survivor that relays a notification closes its remaining
+    overlay connections with ``cascade:`` prefixed to the reason it
+    received, so the prefix count *is* the relay depth: a direct
+    ibverbs event (``peer-death:...``) has depth 0.
+    """
+    depth = 0
+    while reason.startswith(_CASCADE_PREFIX):
+        depth += 1
+        reason = reason[len(_CASCADE_PREFIX):]
+    return depth
+
+
+def hops_of_reason(reason: str) -> int:
+    """Overlay hops a notification travelled: the paper counts the
+    ibverbs event on the failed rank's direct neighbours as hop 1, and
+    each cascade relay as one more -- comparable to
+    :func:`notification_hops` and the Figure 8 bound."""
+    return cascade_depth(reason) + 1
 
 
 def logring_neighbors(rank: int, n: int, k: int = 2) -> List[int]:

@@ -98,6 +98,17 @@ class Transport:
             src.node, dst_node, env.nbytes, sw_overhead=self.sw_overhead
         )
         done = Event(self.sim)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "net.send", "net", rank=env.src, node=src.node.id,
+                epoch=env.epoch, dst=env.dst, dst_node=dst_addr[0],
+                nbytes=env.nbytes, tag=env.tag,
+            )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter("net.msgs_sent", node=src.node.id).inc()
+            metrics.counter("net.bytes_sent", node=src.node.id).inc(env.nbytes)
 
         def on_arrival(evt: Event) -> None:
             if not evt._ok:
@@ -107,11 +118,22 @@ class Transport:
             ctx = self.lookup(dst_addr)
             if ctx is None:
                 self.dropped_dead += 1
+                outcome = "net.drop_dead"
             elif env.epoch < ctx.epoch:
                 self.dropped_stale += 1
                 ctx.stale_dropped += 1
+                outcome = "net.drop_stale"
             else:
                 ctx.matching.deliver(env)
+                outcome = "net.recv"
+            if tracer.enabled:
+                tracer.instant(
+                    outcome, "net", rank=env.dst, node=dst_addr[0],
+                    epoch=env.epoch, src=env.src, nbytes=env.nbytes,
+                    tag=env.tag,
+                )
+            if metrics.enabled:
+                metrics.counter(outcome, node=dst_addr[0]).inc()
             if not done.triggered:
                 done.succeed(None)
 

@@ -1,0 +1,218 @@
+"""Post-run trace reports: the quantities the paper plots.
+
+Given a trace (a :class:`~repro.obs.tracer.Tracer`, a list of events,
+or a JSONL file via the CLI), this module computes:
+
+* **failure-notification distributions** -- per recovery generation,
+  how many survivors heard, over how many log-ring hops, and how long
+  after the failure (Figures 8 & 13);
+* **checkpoint/restore phase distributions** -- durations of the
+  snapshot / ring-encode / parity / meta phases and whole checkpoints
+  and restores (Figures 10-12);
+* **state-machine dwell times** -- how long ranks spent in H1/H2/H3
+  per incarnation, and per-epoch recovery windows (Figure 5).
+
+Run it directly on an exported trace::
+
+    PYTHONPATH=src python -m repro.obs.summary trace.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "notification_summary",
+    "checkpoint_summary",
+    "recovery_summary",
+    "state_dwell_times",
+    "report",
+    "main",
+]
+
+EventSource = Union[Tracer, Iterable[TraceEvent]]
+
+
+def _events(source: EventSource) -> List[TraceEvent]:
+    evs = source.events if isinstance(source, Tracer) else list(source)
+    return list(evs)
+
+
+def _dist(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a duration sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0}
+    ordered = sorted(values)
+    mid = ordered[max(0, min(len(ordered) - 1, int(round(0.5 * (len(ordered) - 1)))))]
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": mid,
+    }
+
+
+# -------------------------------------------------------------- notification
+def notification_summary(source: EventSource) -> Dict[int, Dict[str, Any]]:
+    """Per-generation log-ring notification statistics.
+
+    Keys are recovery generations (the epoch each failure leads to);
+    each value reports the survivor count reached, the hop histogram
+    ``{hop: ranks}``, the worst-case hop, and -- when the trace holds
+    the failure event -- the time from failure to the last survivor's
+    notification (Fig 13's y-axis).
+    """
+    events = _events(source)
+    crash_times = [ev.ts for ev in events
+                   if ev.cat == "failure" and ev.name == "node.crash"]
+    if not crash_times:
+        crash_times = [ev.ts for ev in events
+                       if ev.cat == "failure" and ev.name == "failure.inject"]
+    out: Dict[int, Dict[str, Any]] = {}
+    for ev in events:
+        if ev.cat != "overlay" or ev.name != "overlay.notified":
+            continue
+        gen = ev.epoch if ev.epoch is not None else 0
+        entry = out.setdefault(gen, {"count": 0, "hops": {}, "times": []})
+        entry["count"] += 1
+        hop = int(ev.args.get("hop", 0))
+        entry["hops"][hop] = entry["hops"].get(hop, 0) + 1
+        entry["times"].append(ev.ts)
+    for gen, entry in out.items():
+        times = entry.pop("times")
+        entry["first"] = min(times)
+        entry["last"] = max(times)
+        entry["max_hop"] = max(entry["hops"]) if entry["hops"] else 0
+        # The failure that opened this generation: the newest failure
+        # event at or before the first notification.
+        origin = max((t for t in crash_times if t <= entry["first"]), default=None)
+        entry["failure_at"] = origin
+        entry["latency"] = None if origin is None else entry["last"] - origin
+    return out
+
+
+# ---------------------------------------------------------------- checkpoint
+def checkpoint_summary(source: EventSource) -> Dict[str, Dict[str, float]]:
+    """Duration distributions of every ``ckpt.*`` span, keyed by name.
+
+    ``ckpt.checkpoint`` is directly comparable to the Section V-B model
+    (Fig 10); ``ckpt.encode`` isolates the ring-pipelined XOR transfer;
+    ``ckpt.restore`` matches the restart model (Fig 11).
+    """
+    by_name: Dict[str, List[float]] = {}
+    for ev in _events(source):
+        if ev.cat == "ckpt" and ev.ph == "X":
+            by_name.setdefault(ev.name, []).append(ev.dur or 0.0)
+    return {name: _dist(durs) for name, durs in sorted(by_name.items())}
+
+
+# ------------------------------------------------------------------ recovery
+def recovery_summary(source: EventSource) -> List[Dict[str, Any]]:
+    """Per-epoch recovery windows (failure epoch bump -> all ranks back
+    in H3), in trace order."""
+    out = []
+    for ev in _events(source):
+        if ev.cat == "recovery" and ev.name == "recovery" and ev.ph == "X":
+            out.append({
+                "epoch": ev.epoch,
+                "start": ev.ts,
+                "duration": ev.dur,
+                "cause": ev.args.get("cause", ""),
+            })
+    return out
+
+
+def state_dwell_times(source: EventSource) -> Dict[str, Dict[str, float]]:
+    """How long rank incarnations dwell in each state (H1, H2, H3).
+
+    Computed from consecutive ``fmi.state`` instants of the same
+    ``(rank, incarnation)``; the final state of each incarnation has no
+    successor and is excluded.
+    """
+    per_proc: Dict[Any, List[TraceEvent]] = {}
+    for ev in _events(source):
+        if ev.cat == "state" and ev.name == "fmi.state":
+            per_proc.setdefault((ev.rank, ev.incarnation), []).append(ev)
+    dwell: Dict[str, List[float]] = {}
+    for transitions in per_proc.values():
+        transitions.sort(key=lambda e: e.ts)
+        for cur, nxt in zip(transitions, transitions[1:]):
+            state = str(cur.args.get("state", "?"))
+            dwell.setdefault(state, []).append(nxt.ts - cur.ts)
+    return {state: _dist(vals) for state, vals in sorted(dwell.items())}
+
+
+# -------------------------------------------------------------------- report
+def report(source: EventSource) -> str:
+    """Human-readable multi-table report over a whole trace."""
+    from repro.analysis.tables import Table
+
+    events = _events(source)
+    lines: List[str] = [f"trace: {len(events)} events"]
+
+    notif = notification_summary(events)
+    if notif:
+        table = Table(
+            "Failure notification (log-ring cascade)",
+            ["gen", "survivors", "max hop", "hop histogram", "latency (s)"],
+        )
+        for gen in sorted(notif):
+            entry = notif[gen]
+            hops = " ".join(f"{h}:{c}" for h, c in sorted(entry["hops"].items()))
+            latency = "-" if entry["latency"] is None else f"{entry['latency']:.4f}"
+            table.add(gen, entry["count"], entry["max_hop"], hops, latency)
+        lines.append(table.render())
+
+    ckpt = checkpoint_summary(events)
+    if ckpt:
+        table = Table(
+            "Checkpoint / restore phases",
+            ["span", "count", "mean (s)", "min (s)", "max (s)"],
+        )
+        for name, dist in ckpt.items():
+            table.add(name, dist["count"], round(dist["mean"], 4),
+                      round(dist["min"], 4), round(dist["max"], 4))
+        lines.append(table.render())
+
+    recov = recovery_summary(events)
+    if recov:
+        table = Table(
+            "Recovery windows (failure -> all ranks in H3)",
+            ["epoch", "start (s)", "duration (s)", "cause"],
+        )
+        for entry in recov:
+            table.add(entry["epoch"], round(entry["start"], 4),
+                      round(entry["duration"], 4), entry["cause"])
+        lines.append(table.render())
+
+    dwell = state_dwell_times(events)
+    if dwell:
+        table = Table(
+            "State dwell times per incarnation",
+            ["state", "samples", "mean (s)", "min (s)", "max (s)"],
+        )
+        for state, dist in dwell.items():
+            table.add(state, dist["count"], round(dist["mean"], 4),
+                      round(dist["min"], 4), round(dist["max"], 4))
+        lines.append(table.render())
+
+    return "\n\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.summary <trace.jsonl>", file=sys.stderr)
+        return 2
+    from repro.obs.export import read_jsonl
+
+    print(report(read_jsonl(argv[0])))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

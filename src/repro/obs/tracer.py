@@ -1,0 +1,197 @@
+"""Structured tracing for the simulated runtime.
+
+A :class:`Tracer` attaches to a :class:`~repro.simt.kernel.Simulator`
+and records typed :class:`TraceEvent` records stamped with sim-time,
+rank, node, incarnation and recovery epoch.  Instrumentation sites
+throughout the stack (transport, overlay detector, FMI runtime,
+checkpoint engine, failure injectors) emit events through
+``sim.tracer``; by default that is :data:`NULL_TRACER`, whose methods
+are no-ops, and every hot call site additionally guards on
+``tracer.enabled`` so a disabled simulation pays only an attribute
+lookup and a branch.
+
+Two event shapes cover everything the paper measures:
+
+* **instant** (``ph="i"``) -- a point occurrence: a message delivered,
+  a failure injected, a notification arriving, a state transition.
+* **complete** (``ph="X"``) -- a span with a duration: a checkpoint
+  phase, a restore, a recovery window.  The instrumented code records
+  the start time itself and calls :meth:`Tracer.complete` at the end,
+  so no begin/end matching is ever needed.
+
+Events serialise deterministically (see :mod:`repro.obs.export`):
+replaying the same seeded scenario produces byte-identical traces.
+
+This module imports nothing from the rest of ``repro`` -- the kernel
+imports it, so it must stay at the bottom of the dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: Instant and complete phase markers (Chrome trace_event vocabulary).
+PH_INSTANT = "i"
+PH_COMPLETE = "X"
+
+#: Event categories used by the built-in instrumentation.
+CAT_NET = "net"
+CAT_OVERLAY = "overlay"
+CAT_CKPT = "ckpt"
+CAT_STATE = "state"
+CAT_FAILURE = "failure"
+CAT_RECOVERY = "recovery"
+
+
+class TraceEvent:
+    """One typed trace record.
+
+    ``ts`` (and for spans ``dur``) are simulated seconds.  ``rank``,
+    ``node``, ``incarnation`` and ``epoch`` are optional identity
+    labels; anything else lives in the ``args`` dict.
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "rank", "node",
+                 "incarnation", "epoch", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: Optional[float] = None,
+        rank: Optional[int] = None,
+        node: Optional[int] = None,
+        incarnation: Optional[int] = None,
+        epoch: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.rank = rank
+        self.node = node
+        self.incarnation = incarnation
+        self.epoch = epoch
+        self.args = args or {}
+
+    @property
+    def end(self) -> float:
+        """End time of a span (== ``ts`` for instants)."""
+        return self.ts + (self.dur or 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f" dur={self.dur:.6g}" if self.dur is not None else ""
+        who = f" r{self.rank}" if self.rank is not None else ""
+        return f"<TraceEvent {self.cat}/{self.name} t={self.ts:.6g}{span}{who}>"
+
+
+class Tracer:
+    """Event recorder bound to one simulator.
+
+    Constructing a tracer with a simulator attaches it (``sim.tracer``
+    becomes this object); pass ``attach=False`` to keep the simulator's
+    existing tracer.  ``enabled`` can be flipped at any time -- call
+    sites check it before building event arguments.
+    """
+
+    enabled: bool
+
+    def __init__(self, sim, enabled: bool = True, attach: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        if attach:
+            sim.tracer = self
+
+    # -- recording -----------------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        rank: Optional[int] = None,
+        node: Optional[int] = None,
+        incarnation: Optional[int] = None,
+        epoch: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """Record a point event at the current sim time."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(
+            name, cat, PH_INSTANT, self.sim.now,
+            rank=rank, node=node, incarnation=incarnation, epoch=epoch,
+            args=args,
+        ))
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        rank: Optional[int] = None,
+        node: Optional[int] = None,
+        incarnation: Optional[int] = None,
+        epoch: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """Record a span from ``start`` to the current sim time."""
+        if not self.enabled:
+            return
+        now = self.sim.now
+        self.events.append(TraceEvent(
+            name, cat, PH_COMPLETE, start, dur=now - start,
+            rank=rank, node=node, incarnation=incarnation, epoch=epoch,
+            args=args,
+        ))
+
+    # -- querying ------------------------------------------------------------
+    def select(self, cat: Optional[str] = None, name: Optional[str] = None) -> Iterator[TraceEvent]:
+        """Iterate events, optionally filtered by category and/or name."""
+        for ev in self.events:
+            if cat is not None and ev.cat != cat:
+                continue
+            if name is not None and ev.name != name:
+                continue
+            yield ev
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer:
+    """The default tracer: records nothing, costs (almost) nothing.
+
+    ``enabled`` is ``False`` so guarded call sites skip argument
+    construction entirely; unguarded sites hit a no-op method.
+    """
+
+    enabled = False
+    events: List[TraceEvent] = []
+
+    def instant(self, *_a: Any, **_k: Any) -> None:
+        pass
+
+    def complete(self, *_a: Any, **_k: Any) -> None:
+        pass
+
+    def select(self, *_a: Any, **_k: Any) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op tracer every fresh :class:`Simulator` starts with.
+NULL_TRACER = NullTracer()

@@ -10,6 +10,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = ["Event", "Simulator", "Timeout", "SimulationError"]
 
 
@@ -136,6 +139,10 @@ class Simulator:
         self._heap: List[Any] = []
         self._seq: int = 0
         self._active_proc = None  # set by Process while resuming
+        #: observability sinks; no-ops until a Tracer / MetricsRegistry
+        #: attaches itself (instrumentation sites guard on ``.enabled``)
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
 
     # -- scheduling ----------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
