@@ -6,9 +6,12 @@ paper-vs-measured table and assert the *shape* of the result (who
 wins, crossovers, scaling behaviour) -- absolute agreement with the
 paper's testbed numbers is not expected and not asserted.
 
-Scale control: set ``REPRO_BENCH_SCALE=full`` for the paper's full
-process counts (up to 1,536); the default ``quick`` keeps each bench
-to tens of seconds.
+Scale control via ``REPRO_BENCH_SCALE``:
+
+* ``smoke`` -- minutes-of-CI scale: tiny payloads, short sweeps (used
+  by the CI redundancy-ablation job);
+* ``quick`` -- the default: each bench runs in tens of seconds;
+* ``full`` -- the paper's full process counts (up to 1,536).
 """
 
 from __future__ import annotations
@@ -21,13 +24,28 @@ from repro.cluster.spec import SIERRA, ClusterSpec
 from repro.simt import Simulator
 from repro.simt.rng import RngRegistry
 
-FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+if SCALE not in ("smoke", "quick", "full"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be smoke/quick/full, not {SCALE!r}")
+FULL = SCALE == "full"
 
 #: Fig 12/13/14/15 x-axis (processes at 12 per node)
-PROC_COUNTS: List[int] = (
-    [48, 96, 192, 384, 768, 1536] if FULL else [48, 96, 192, 384]
-)
+PROC_COUNTS: List[int] = {
+    "smoke": [48, 96],
+    "quick": [48, 96, 192, 384],
+    "full": [48, 96, 192, 384, 768, 1536],
+}[SCALE]
 PROCS_PER_NODE = 12
+
+#: Fig 10/11 x-axis (redundancy group sizes, one rank per node)
+GROUP_SIZES: List[int] = {
+    "smoke": [2, 4, 8],
+    "quick": [2, 4, 8, 16, 32],
+    "full": [2, 4, 8, 16, 32, 64],
+}[SCALE]
+
+#: per-node checkpoint bytes for the engine benches (the paper: 6 GB)
+CKPT_BYTES: float = {"smoke": 96e6, "quick": 6e9, "full": 6e9}[SCALE]
 
 
 def make_machine(num_nodes: int, seed: int = 0, spec: ClusterSpec = SIERRA):
@@ -38,3 +56,44 @@ def make_machine(num_nodes: int, seed: int = 0, spec: ClusterSpec = SIERRA):
 
 def nodes_for(nprocs: int, spares: int = 0) -> int:
     return nprocs // PROCS_PER_NODE + spares
+
+
+def run_engine_group(body, group_size: int, scheme: str = "xor",
+                     ckpt_bytes: float = None, seed: int = 0,
+                     trace: bool = False):
+    """Drive one redundancy group (one member per node) through the
+    simulated fabric.
+
+    ``body(api, engine, storage, payload)`` is a generator run on every
+    member, handed a fresh :class:`MemoryStorage`, a
+    :class:`CheckpointEngine` bound to ``scheme``, and a synthetic
+    per-member payload of ``ckpt_bytes`` (default: the scale-dependent
+    :data:`CKPT_BYTES`).  Returns ``(sim, results, tracer)`` with
+    ``tracer`` None unless ``trace`` is set.
+    """
+    from repro.fmi.checkpoint import CheckpointEngine, MemoryStorage
+    from repro.fmi.payload import Payload
+    from repro.fmi.redundancy import make_scheme
+    from repro.mpi.runtime import MpiJob
+
+    if ckpt_bytes is None:
+        ckpt_bytes = CKPT_BYTES
+    sim, machine = make_machine(group_size, seed=seed)
+    tracer = None
+    if trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(sim)
+
+    def app(api):
+        storage = MemoryStorage(api.node)
+        engine = CheckpointEngine(api.world, storage, api.memcpy,
+                                  scheme=make_scheme(scheme))
+        payload = Payload.synthetic(ckpt_bytes, seed=api.rank, rep_bytes=64)
+        result = yield from body(api, engine, storage, payload)
+        return result
+
+    job = MpiJob(machine, app, nprocs=group_size, procs_per_node=1,
+                 charge_init=False)
+    results = sim.run(until=job.launch())
+    return sim, results, tracer

@@ -1,9 +1,9 @@
 """Fig 10 -- XOR checkpoint time vs XOR group size (6 GB/node).
 
 One rank per node (so per-rank == per-node as in the paper's figure),
-synthetic 6 GB payloads, group sizes 2..64.  Overlays the Section V-B
-model; asserts the paper's conclusion that the time saturates around
-group size 16 (where parity overhead is 6.6 %).
+synthetic payloads, group sizes 2..64 (scale-dependent).  Overlays the
+Section V-B model; asserts the paper's conclusion that the time
+saturates around group size 16 (where parity overhead is 6.6 %).
 
 Timing comes from the observability layer: the checkpoint engine
 emits ``ckpt.checkpoint`` (and per-phase ``ckpt.snapshot`` /
@@ -15,32 +15,19 @@ stopwatching inside the application.
 
 import pytest
 
-from _harness import FULL, make_machine
+from _harness import CKPT_BYTES, GROUP_SIZES, run_engine_group
 from repro.analysis.tables import Table
-from repro.fmi.checkpoint import MemoryStorage, XorCheckpointEngine
-from repro.fmi.payload import Payload
 from repro.models.cr_model import checkpoint_time
-from repro.mpi.runtime import MpiJob
-from repro.obs import Tracer
 from repro.obs.summary import checkpoint_summary
-
-CKPT_BYTES = 6e9
-GROUP_SIZES = [2, 4, 8, 16, 32, 64] if FULL else [2, 4, 8, 16, 32]
 
 
 def measure_checkpoint(group_size: int):
-    sim, machine = make_machine(group_size, seed=group_size)
-    tracer = Tracer(sim)
-
-    def app(api):
-        storage = MemoryStorage(api.node)
-        engine = XorCheckpointEngine(api.world, storage, api.memcpy)
-        payload = Payload.synthetic(CKPT_BYTES, seed=api.rank, rep_bytes=64)
+    def body(api, engine, storage, payload):
         yield from engine.checkpoint([payload], dataset_id=0)
 
-    job = MpiJob(machine, app, nprocs=group_size, procs_per_node=1,
-                 charge_init=False)
-    sim.run(until=job.launch())
+    _sim, _results, tracer = run_engine_group(
+        body, group_size, scheme="xor", seed=group_size, trace=True
+    )
     phases = checkpoint_summary(tracer)
     assert phases["ckpt.checkpoint"]["count"] == group_size
     return phases
@@ -54,7 +41,7 @@ def test_fig10_xor_checkpoint_time(benchmark):
     out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     spec_mem, spec_net = 32e9, 3.24e9
     table = Table(
-        "Fig 10: XOR checkpoint time vs group size (6 GB/node, 1 proc/node)",
+        "Fig 10: XOR checkpoint time vs group size (1 proc/node)",
         ["Group size", "measured (s)", "model (s)", "memcpy (s)", "comm (s)",
          "encode (s)"],
     )
@@ -72,8 +59,10 @@ def test_fig10_xor_checkpoint_time(benchmark):
         assert encode == pytest.approx(comm, rel=0.25), n
     table.show()
     # Shape: time decreases with group size and saturates near 16.
-    assert measured[2] > measured[8] > measured[16]
-    last = GROUP_SIZES[-1]
-    assert measured[16] - measured[last] < 0.08 * measured[16]
+    assert measured[2] > measured[8]
+    if 16 in GROUP_SIZES:
+        assert measured[8] > measured[16]
+        last = GROUP_SIZES[-1]
+        assert measured[16] - measured[last] < 0.08 * measured[16]
     # Parity overhead at 16: 1/15 = 6.7 % of the checkpoint.
     assert 1 / 15 == pytest.approx(0.0667, rel=0.01)

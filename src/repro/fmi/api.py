@@ -23,8 +23,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.fmi.checkpoint import XorCheckpointEngine
+from repro.fmi.checkpoint import CheckpointEngine
 from repro.fmi.errors import FailureNotified
+from repro.fmi.redundancy import make_scheme
 from repro.fmi.payload import Payload
 from repro.mpi.api import ParallelApi
 from repro.mpi.communicator import Communicator
@@ -50,8 +51,9 @@ class FmiContext(ParallelApi):
         self.group_comm = Communicator(
             self, GROUP_COMM_BASE + group_idx, layout.members(group_idx)
         )
-        self.engine = XorCheckpointEngine(
-            self.group_comm, fproc.storage, self.memcpy
+        self.engine = CheckpointEngine(
+            self.group_comm, fproc.storage, self.memcpy,
+            scheme=make_scheme(job.config.redundancy),
         )
         self.l2store = None
         if job.config.level2_every is not None:

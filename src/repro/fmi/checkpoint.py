@@ -1,4 +1,4 @@
-"""The in-memory (and, for SCR, filesystem) XOR checkpoint engine.
+"""The in-memory (and, for SCR, filesystem) checkpoint engine.
 
 Implements Section V:
 
@@ -9,20 +9,13 @@ Implements Section V:
   latency + a CRC verification pass).  This difference is the ~10 %
   Himeno gap in Fig 15.
 
-* **ring-pipelined XOR encoding** (Figure 9) -- every group member
-  starts a zeroed parity buffer, sends it around the ring for ``n``
-  steps, XORing in one local chunk per step; after ``n`` steps each
-  member holds its completed parity slot.  Per member: ``s`` bytes
-  memcpy'd, ``s + s/(n-1)`` bytes transferred, ``s`` bytes XORed --
-  exactly the Section V-B cost model.
-
-* **rotated decode + gather** -- chunk reconstructions pipeline around
-  the survivor ring with rotated start positions so every link stays
-  busy; each survivor terminates one rebuilt chunk and the replacement
-  "collects the decoded checkpoint chunks from the other ranks", the
-  extra ``s/net_bw`` Gather stage of Figs 11/12.  The replacement's
-  parity slot is regenerated in the same pass, so the group is fully
-  protected again immediately after recovery.
+* **pluggable redundancy** -- the engine owns the *protocol* (geometry
+  agreement, dataset versioning, keep-2 pruning, group/world restore
+  agreement) and delegates the *data plane* to a
+  :class:`~repro.fmi.redundancy.RedundancyScheme`: the paper's
+  ring-pipelined XOR (Figure 9, the default), full-copy partner
+  replication, or node-local-only storage.  See
+  :mod:`repro.fmi.redundancy` for the schemes and their cost models.
 
 * **dataset versioning** -- a failure can strike *during* a checkpoint,
   leaving some members with the new dataset and others without.  The
@@ -34,7 +27,8 @@ Implements Section V:
   and are pruned.
 
 All of it moves *real bytes*: tests verify that a replacement rank's
-restored checkpoint is bit-identical to what the failed rank saved.
+restored checkpoint is bit-identical to what the failed rank saved --
+for every scheme.
 """
 
 from __future__ import annotations
@@ -44,12 +38,20 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster.node import Node
 from repro.fmi.errors import UnrecoverableFailure
 from repro.fmi.payload import Payload
-from repro.fmi.xor_codec import chunk_of_slot, slot_of_chunk, split_into_chunks
-from repro.net.matching import ANY_SOURCE
+from repro.fmi.redundancy import (
+    TAG_XOR_GATHER,
+    TAG_XOR_META,
+    TAG_XOR_RING,
+    RedundancyScheme,
+    XorScheme,
+    _blob_key,
+    _meta_key,
+)
 
 __all__ = [
     "MemoryStorage",
     "TmpfsStorage",
+    "CheckpointEngine",
     "XorCheckpointEngine",
     "CheckpointDataset",
     "TAG_XOR_RING",
@@ -57,24 +59,7 @@ __all__ = [
     "TAG_XOR_META",
 ]
 
-TAG_XOR_RING = (1 << 25) + 1
-TAG_XOR_GATHER = (1 << 25) + 2
-TAG_XOR_META = (1 << 25) + 3
-TAG_XOR_PARITY = (1 << 25) + 4
-
 _COMPLETED_KEY = "completed"
-
-
-def _blob_key(ds: int) -> str:
-    return f"ckpt@{ds}"
-
-
-def _parity_key(ds: int) -> str:
-    return f"parity@{ds}"
-
-
-def _meta_key(ds: int) -> str:
-    return f"meta@{ds}"
 
 
 class CheckpointDataset:
@@ -110,7 +95,8 @@ class MemoryStorage:
     """FMI's diskless tier: raw memcpy into the process's memory.
 
     The backing dict lives in the owning process object, so it vanishes
-    with the process -- which is precisely why XOR across nodes exists.
+    with the process -- which is precisely why redundancy across nodes
+    exists.
     """
 
     def __init__(self, node: Node):
@@ -218,31 +204,45 @@ class TmpfsStorage:
                 self.node.tmpfs.unlink(path)
 
 
-class XorCheckpointEngine:
-    """Group-collective checkpoint/restart for one XOR group member.
+class CheckpointEngine:
+    """Group-collective checkpoint/restart for one redundancy-group
+    member.
 
     ``comm`` is a communicator over exactly the group members (rank =
     position in group); ``storage`` is one of the adapters above;
-    ``mem_charge(nbytes)`` charges XOR compute time through the memory
-    bus.  All public methods are generators (drive with ``yield from``
-    inside a rank process).
+    ``mem_charge(nbytes)`` charges encode compute time through the
+    memory bus; ``scheme`` is a
+    :class:`~repro.fmi.redundancy.RedundancyScheme` (XOR when omitted).
+    All public methods are generators (drive with ``yield from`` inside
+    a rank process).
     """
 
     #: complete datasets retained (2 tolerates one in-flight checkpoint)
     KEEP = 2
 
-    def __init__(self, comm, storage, mem_charge):
+    #: world_agree sentinel: this group cannot recover at level 1.
+    #: Smaller than every real dataset id, so a MIN-based agreement
+    #: drags every group to the level-2 fallback.
+    BEYOND = -2
+    #: historical alias (the seed engine was XOR-only)
+    BEYOND_XOR = BEYOND
+
+    def __init__(self, comm, storage, mem_charge,
+                 scheme: Optional[RedundancyScheme] = None):
         self.comm = comm
         self.storage = storage
         self.mem_charge = mem_charge
         self.sim = comm.api.sim
+        self.scheme = scheme if scheme is not None else XorScheme()
+        self.scheme.bind(self)
 
     def _trace_span(self, name: str, start: float, **args) -> None:
         """Emit one ``ckpt`` span for this member (world identity)."""
         api = self.comm.api
         self.sim.tracer.complete(
             name, "ckpt", start, rank=api.world_rank, node=api.node.id,
-            group_rank=self.comm.rank, group_size=self.comm.size, **args,
+            group_rank=self.comm.rank, group_size=self.comm.size,
+            scheme=self.scheme.name, **args,
         )
 
     # -- local dataset bookkeeping -------------------------------------------
@@ -265,7 +265,9 @@ class XorCheckpointEngine:
 
     def _drop_dataset(self, ds: int) -> None:
         self.storage.unstore(_blob_key(ds))
-        self.storage.unstore(_parity_key(ds))
+        rkey = self.scheme.redundancy_key(ds)
+        if rkey is not None:
+            self.storage.unstore(rkey)
         self.storage.unstore_meta(_meta_key(ds))
 
     def load_blob(self, dataset: int):
@@ -282,8 +284,8 @@ class XorCheckpointEngine:
 
     # ------------------------------------------------------------- checkpoint
     def checkpoint(self, payloads: Sequence[Payload], dataset_id: int):
-        """Snapshot ``payloads``, encode parity across the group, and
-        mark the dataset complete (retaining the last ``KEEP``)."""
+        """Snapshot ``payloads``, encode redundancy across the group,
+        and mark the dataset complete (retaining the last ``KEEP``)."""
         n = self.comm.size
         traced = self.sim.tracer.enabled
         t_total = self.sim.now
@@ -295,8 +297,8 @@ class XorCheckpointEngine:
             (blob.data.nbytes, blob.nbytes), op=_pairmax, nbytes=16.0
         )
         max_len, max_declared = dims
-        # Chunks must split evenly for every member: round up to n-1.
-        max_len = _round_up(max_len, max(1, n - 1))
+        # Chunks must split evenly for every member (XOR: n-1 chunks).
+        max_len = _round_up(max_len, max(1, self.scheme.pad_multiple(n)))
         blob = blob.padded(max_len, nbytes=max_declared)
 
         t_phase = self.sim.now
@@ -305,22 +307,25 @@ class XorCheckpointEngine:
             self._trace_span("ckpt.snapshot", t_phase, dataset=dataset_id,
                              nbytes=blob.nbytes)
         t_phase = self.sim.now
-        parity = yield from self._ring_encode(blob)
+        redundancy = yield from self.scheme.encode(blob)
         if traced:
             self._trace_span("ckpt.encode", t_phase, dataset=dataset_id,
                              nbytes=blob.nbytes)
-        t_phase = self.sim.now
-        yield from self.storage.store(_parity_key(dataset_id), parity)
-        if traced:
-            self._trace_span("ckpt.parity_store", t_phase, dataset=dataset_id,
-                             nbytes=parity.nbytes)
+        if redundancy is not None:
+            t_phase = self.sim.now
+            yield from self.storage.store(
+                self.scheme.redundancy_key(dataset_id), redundancy
+            )
+            if traced:
+                self._trace_span("ckpt.parity_store", t_phase,
+                                 dataset=dataset_id, nbytes=redundancy.nbytes)
         t_phase = self.sim.now
         meta = CheckpointDataset(dataset_id, sections, max_len, blob.nbytes)
         # Metadata is tiny; replicate the whole group's metas everywhere
         # (as SCR does) so any survivor can describe a lost member's
         # checkpoint to its replacement.  The allgather doubles as the
         # group-wide completion barrier: once it returns, every member
-        # has stored blob+parity.
+        # has stored blob+redundancy.
         group_metas = yield from self.comm.allgather(meta.to_dict(), nbytes=96.0)
         yield from self.storage.store_meta(
             _meta_key(dataset_id),
@@ -344,29 +349,6 @@ class XorCheckpointEngine:
             )
         return meta
 
-    def _ring_encode(self, blob: Payload):
-        n = self.comm.size
-        i = self.comm.rank
-        if n == 1:  # degenerate group: no parity partner
-            return Payload.zeros_like(blob)
-        chunks = split_into_chunks(blob, n)
-        right = (i + 1) % n
-        left = (i - 1) % n
-        buf = Payload.zeros_like(chunks[0])
-        for step in range(n):
-            recv_evt = self.comm.post_recv(left, TAG_XOR_RING)
-            yield self.comm.send_async(right, buf, buf.nbytes, TAG_XOR_RING)
-            env = yield recv_evt
-            buf = env.data
-            slot = (i - 1 - step) % n
-            if slot != i:
-                yield self.mem_charge(buf.nbytes)
-                buf.xor_inplace(chunks[chunk_of_slot(i, slot, n)])
-        return buf  # my parity slot P_i, complete after n hops
-
-    #: world_agree sentinel: this group cannot recover with XOR alone
-    BEYOND_XOR = -2
-
     # ---------------------------------------------------------------- restart
     def restore(self, world_agree=None, allow_beyond_xor: bool = False):
         """Group-collective restart.
@@ -374,15 +356,17 @@ class XorCheckpointEngine:
         Collectively picks the newest dataset every survivor still
         holds (optionally narrowed job-wide through ``world_agree``, a
         generator-function mapping this group's candidate id to the
-        global minimum), rebuilds at most one lost member, prunes
-        stale newer datasets, and returns ``(meta, payloads)`` -- or
-        ``None`` when no checkpoint exists anywhere (cold start).
+        global minimum), rebuilds the lost members the scheme can
+        repair, prunes stale newer datasets, and returns
+        ``(meta, payloads)`` -- or ``None`` when no checkpoint exists
+        anywhere (cold start).
 
-        If more than one member of the group lost its data (the paper's
-        level-1 limit) the group is *beyond XOR repair*: with
+        If the scheme cannot repair this group's losses (more than one
+        member for XOR, adjacent members for partner, any member for
+        single) the group is *beyond level-1 repair*: with
         ``allow_beyond_xor`` (the multilevel path) the sentinel string
         ``"beyond-xor"`` is returned -- and, because the sentinel value
-        :attr:`BEYOND_XOR` is smaller than every real dataset id, a
+        :attr:`BEYOND` is smaller than every real dataset id, a
         MIN-based ``world_agree`` automatically drags **every** group to
         the level-2 fallback.  Otherwise
         :class:`UnrecoverableFailure` is raised.
@@ -407,24 +391,26 @@ class XorCheckpointEngine:
     def _restore_inner(self, world_agree, allow_beyond_xor: bool):
         mine = self.completed_ids()
         entries = yield from self.comm.allgather(list(mine), nbytes=16.0)
+        n = len(entries)
         missing = [pos for pos, ids in enumerate(entries) if not ids]
-        if len(missing) == len(entries):
+        if len(missing) == n:
             # Nobody in the group has anything.  Without a deeper tier
             # that is a cold start; with one it might be a wiped group
             # (every member's node died), so let level 2 decide.
-            candidate = self.BEYOND_XOR if allow_beyond_xor else -1
+            candidate = self.BEYOND if allow_beyond_xor else -1
         else:
             survivor_sets = [set(ids) for ids in entries if ids]
             common = set.intersection(*survivor_sets)
-            if len(missing) > 1 or not common:
-                # Either two members lost everything, or the survivors
-                # hold no common complete dataset: XOR cannot repair.
+            if not common or not self.scheme.can_repair(missing, n):
+                # Either the losses exceed what this scheme encodes for,
+                # or the survivors hold no common complete dataset.
                 if not allow_beyond_xor:
                     raise UnrecoverableFailure(
-                        f"XOR group beyond level-1 repair ({len(missing)} "
-                        f"members lost, common datasets: {sorted(common) if common else []})"
+                        f"{self.scheme.name} group beyond level-1 repair "
+                        f"({len(missing)} members lost, common datasets: "
+                        f"{sorted(common) if common else []})"
                     )
-                candidate = self.BEYOND_XOR
+                candidate = self.BEYOND
             else:
                 candidate = max(common)
 
@@ -432,7 +418,7 @@ class XorCheckpointEngine:
             dataset = yield from world_agree(candidate)
         else:
             dataset = candidate
-        if dataset == self.BEYOND_XOR:
+        if dataset == self.BEYOND:
             return "beyond-xor"
         if dataset == -1:
             # Cold start everywhere: wipe any partial local state.
@@ -461,124 +447,53 @@ class XorCheckpointEngine:
             meta = yield from self._my_meta(dataset)
             return meta, _slice(blob, meta)
 
-        f = missing[0]
-        if self.comm.rank == f:
+        # Rebuild every lost member (XOR repairs at most one; partner
+        # repairs any non-adjacent set, one at a time).
+        blob: Optional[Payload] = None
+        meta: Optional[CheckpointDataset] = None
+        for f in missing:
             t_rebuild = self.sim.now
-            blob, parity, group_meta = yield from self._receive_rebuilt(f)
-            if self.sim.tracer.enabled:
-                self._trace_span("ckpt.rebuild", t_rebuild, dataset=dataset,
-                                 role="replacement")
-            yield from self.storage.store(_blob_key(dataset), blob)
-            yield from self.storage.store(_parity_key(dataset), parity)
-            yield from self.storage.store_meta(_meta_key(dataset), group_meta)
-            yield from self._store_completed([dataset])
-            meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
-            return meta, _slice(blob, meta)
-        t_rebuild = self.sim.now
-        blob = yield from self._pipeline_contribute(f, dataset)
-        if self.sim.tracer.enabled:
-            self._trace_span("ckpt.rebuild", t_rebuild, dataset=dataset,
-                             role="survivor")
-        meta = yield from self._my_meta(dataset)
+            if self.comm.rank == f:
+                blob, redundancy, group_meta = (
+                    yield from self.scheme.rebuild_replacement(f, dataset)
+                )
+                if self.sim.tracer.enabled:
+                    self._trace_span("ckpt.rebuild", t_rebuild,
+                                     dataset=dataset, role="replacement")
+                yield from self.storage.store(_blob_key(dataset), blob)
+                if redundancy is not None:
+                    yield from self.storage.store(
+                        self.scheme.redundancy_key(dataset), redundancy
+                    )
+                yield from self.storage.store_meta(_meta_key(dataset), group_meta)
+                yield from self._store_completed([dataset])
+                meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
+            else:
+                assisted = yield from self.scheme.assist_rebuild(f, dataset)
+                if assisted is not None:
+                    if self.sim.tracer.enabled:
+                        self._trace_span("ckpt.rebuild", t_rebuild,
+                                         dataset=dataset, role="survivor")
+                    blob = assisted
+        if meta is None:
+            # Survivor (or uninvolved member): the assist may already
+            # have loaded my blob; otherwise read it back now.
+            if blob is None:
+                blob = yield from self.storage.load(_blob_key(dataset))
+            meta = yield from self._my_meta(dataset)
         return meta, _slice(blob, meta)
 
     def _my_meta(self, dataset: int):
         raw = yield from self.storage.load_meta(_meta_key(dataset))
         return CheckpointDataset.from_dict(raw["group"][str(self.comm.rank)])
 
-    def _pipeline_contribute(self, f: int, dataset: int):
-        """Survivor side of the decode (same ring structure as encode).
 
-        The ``n - 1`` chunk reconstructions run as *rotated* pipelines
-        over the survivor ring: chunk ``m`` starts at survivor
-        ``m mod (n-1)``, visits every survivor (each XORs in its
-        contribution), and terminates at a *different* survivor for
-        each ``m`` -- so at every step all survivor links are busy
-        (decode time ~ encode time), and afterwards each survivor holds
-        exactly one rebuilt chunk.  The replacement then "collects the
-        decoded checkpoint chunks from the other ranks" (Section V-A),
-        the extra ``s/net_bw`` Gather stage of Fig 11.  A final pass
-        regenerates the lost parity slot ``P_f`` so the group is fully
-        protected again.
-        """
-        n = self.comm.size
-        me = self.comm.rank
-        blob = yield from self.storage.load(_blob_key(dataset))
-        parity = yield from self.storage.load(_parity_key(dataset))
-        chunks = split_into_chunks(blob, n)
-        survivors = [r for r in range(n) if r != f]
-        ns = len(survivors)
-        p = survivors.index(me)
-        if p == 0:
-            # Ship the replicated group metadata so the replacement can
-            # slice its rebuilt blob.
-            meta = yield from self.storage.load_meta(_meta_key(dataset))
-            yield self.comm.send_async(f, meta, 128.0, TAG_XOR_META)
+class XorCheckpointEngine(CheckpointEngine):
+    """The seed engine's name: a :class:`CheckpointEngine` pinned to
+    the paper's ring-pipelined XOR scheme."""
 
-        def contribution(m: int) -> Payload:
-            j = slot_of_chunk(f, m, n)
-            return parity if me == j else chunks[chunk_of_slot(me, j, n)]
-
-        terminal: Optional[Payload] = None
-        terminal_m = (p + 1) % ns  # the chunk whose pipeline ends at me
-        for t in range(ns):
-            m = (p - t) % ns  # the chunk I handle at step t
-            if t == 0:
-                buf = contribution(m).copy()
-            else:
-                env = yield self.comm.post_recv(
-                    survivors[(p - 1) % ns], TAG_XOR_RING
-                )
-                buf = env.data
-                yield self.mem_charge(buf.nbytes)
-                buf.xor_inplace(contribution(m))
-            if t == ns - 1:
-                terminal = buf
-            else:
-                yield self.comm.send_async(
-                    survivors[(p + 1) % ns], buf, buf.nbytes, TAG_XOR_RING
-                )
-        # Gather stage: every survivor forwards its one rebuilt chunk.
-        yield self.comm.send_async(f, (terminal_m, terminal),
-                                   terminal.nbytes, TAG_XOR_GATHER)
-        # Parity regeneration: P_f = XOR of every survivor's chunk
-        # assigned to slot f.  A binomial XOR-reduce (log2 depth, one
-        # chunk per link) keeps this cheap next to the gather; the head
-        # survivor forwards the finished slot to the replacement.
-        acc = chunks[chunk_of_slot(me, f, n)].copy()
-        mask = 1
-        while mask < ns:
-            if p & mask:
-                dst = survivors[p - mask]
-                yield self.comm.send_async(dst, acc, acc.nbytes, TAG_XOR_PARITY)
-                break
-            src = p + mask
-            if src < ns:
-                env = yield self.comm.post_recv(survivors[src], TAG_XOR_PARITY)
-                yield self.mem_charge(acc.nbytes)
-                acc.xor_inplace(env.data)
-            mask <<= 1
-        if p == 0:
-            yield self.comm.send_async(f, acc, acc.nbytes, TAG_XOR_PARITY)
-        return blob
-
-    def _receive_rebuilt(self, f: int):
-        """Replacement side: collect one rebuilt chunk per survivor,
-        plus the regenerated parity slot."""
-        n = self.comm.size
-        survivors = [r for r in range(n) if r != f]
-        env = yield self.comm.post_recv(survivors[0], TAG_XOR_META)
-        group_meta = env.data
-        meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
-        chunks: List[Optional[Payload]] = [None] * (n - 1)
-        for _ in range(n - 1):
-            env = yield self.comm.post_recv(ANY_SOURCE, TAG_XOR_GATHER)
-            m, payload = env.data
-            chunks[m] = payload
-        blob = Payload.join(chunks, data_len=meta.blob_len, nbytes=meta.blob_nbytes)
-        env = yield self.comm.post_recv(survivors[0], TAG_XOR_PARITY)
-        parity = env.data
-        return blob, parity, group_meta
+    def __init__(self, comm, storage, mem_charge):
+        super().__init__(comm, storage, mem_charge, scheme=XorScheme())
 
 
 # ------------------------------------------------------------------ helpers

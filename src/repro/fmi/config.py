@@ -24,9 +24,13 @@ class FmiConfig:
     interval: Optional[int] = None
     #: expected machine MTBF driving Vaidya auto-tuning; None = off
     mtbf_seconds: Optional[float] = None
-    #: XOR group size in ranks (Section V-C tunes this; 16 is the
-    #: paper's choice). Groups are laid out across nodes.
+    #: redundancy group size in ranks (Section V-C tunes this; 16 is
+    #: the paper's choice). Groups are laid out across nodes.
     xor_group_size: int = 16
+    #: level-1 redundancy scheme: "xor" (the paper's ring-pipelined
+    #: parity), "partner" (full-copy neighbour replication), or
+    #: "single" (node-local only; pair with ``level2_every``)
+    redundancy: str = "xor"
     #: log-ring base k (Section IV-C; k=2 is the paper's default)
     logring_k: int = 2
     #: pre-reserved spare nodes requested with the allocation
@@ -54,6 +58,11 @@ class FmiConfig:
             raise ValueError("mtbf_seconds must be positive")
         if self.xor_group_size < 2:
             raise ValueError("xor_group_size must be >= 2")
+        if self.redundancy not in ("xor", "partner", "single"):
+            raise ValueError(
+                f"unknown redundancy scheme {self.redundancy!r} "
+                "(choose from ['partner', 'single', 'xor'])"
+            )
         if self.logring_k < 2:
             raise ValueError("logring_k must be >= 2")
         if self.spare_nodes < 0:

@@ -2,32 +2,33 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from repro.cluster.machine import Machine
+from repro.cluster.node import Node
 from repro.fmi.config import FmiConfig
 from repro.fmi.api import FmiContext
 from repro.fmi.detector import LogRingDetector
-from repro.fmi.errors import FmiAbort
 from repro.fmi.runtime import Fmirun, FmiProcess
 from repro.fmi.state import TransitionLog
 from repro.fmi.xor_group import XorGroupLayout
 from repro.net.pmgr import PmgrRendezvous
-from repro.net.transport import Transport
-from repro.simt.kernel import Event
+from repro.runtime.core import JobBase
 
 __all__ = ["FmiJob"]
 
 AppFactory = Callable[[FmiContext], Any]  # callable(fmi) -> generator
 
 
-class FmiJob:
+class FmiJob(JobBase):
     """One FMI application run (the ``fmirun`` invocation).
 
     The job object is also the runtime's shared blackboard: the
     recovery epoch, the virtual-rank endpoint table, the per-epoch H1
     rendezvous, the log-ring detector, and the statistics every
-    benchmark reads.
+    benchmark reads.  Launch/context/abort machinery is inherited from
+    :class:`~repro.runtime.core.JobBase`; the survivable behaviour is
+    the attached :class:`~repro.fmi.runtime.Fmirun` policy.
 
     Typical use::
 
@@ -45,39 +46,21 @@ class FmiJob:
         config: Optional[FmiConfig] = None,
         name: str = "fmi",
     ):
-        if num_ranks < 1 or procs_per_node < 1:
-            raise ValueError("num_ranks and procs_per_node must be >= 1")
-        if num_ranks % procs_per_node != 0:
-            raise ValueError("num_ranks must be a multiple of procs_per_node")
-        self.machine = machine
-        self.sim = machine.sim
-        self.app = app
-        self.num_ranks = num_ranks
-        self.ppn = procs_per_node
-        self.num_nodes = num_ranks // procs_per_node
         self.config = config or FmiConfig()
-        self.name = name
+        super().__init__(
+            machine, app, num_ranks, procs_per_node,
+            policy=Fmirun(), name=name,
+            sw_overhead=machine.spec.network.sw_overhead_fmi,
+        )
+        self.fmirun: Fmirun = self.policy  # the runtime's public name
         group = min(self.config.xor_group_size, self.num_nodes)
         self.xor_layout = XorGroupLayout(num_ranks, procs_per_node, group)
-        self.transport = Transport(
-            machine, sw_overhead=machine.spec.network.sw_overhead_fmi
-        )
         self.detector = LogRingDetector(self)
         self.transitions = TransitionLog()
-
-        # -- shared runtime state --
-        self.epoch = 0
-        self.rank_procs: Dict[int, FmiProcess] = {}
-        self.addr_table: Dict[int, Tuple[int, int]] = {}
         self._h1_rdv: Dict[int, PmgrRendezvous] = {}
         self._h2_rdv: Dict[int, PmgrRendezvous] = {}
-        self.finished_ranks: Set[int] = set()
-        self.results: Dict[int, Any] = {}
-        self.done: Event = self.sim.event()
-        self.fmirun = Fmirun(self)
 
         # -- statistics --
-        self.recovery_causes: List[Tuple[float, str]] = []
         self.recovered_at: Dict[int, float] = {}
         self.checkpoints_done = 0
         self.restores_done = 0
@@ -85,28 +68,13 @@ class FmiJob:
         self.next_l2_at = 0
         self.level2_flushes = 0
         self.level2_restores = 0
-        self.launched_at: Optional[float] = None
-        #: time rank 0 left H2 in epoch 0 (the FMI_Init measurement)
-        self.init_done_at: Optional[float] = None
 
-    # -- launch ----------------------------------------------------------------
-    def launch(self) -> Event:
-        if self.launched_at is not None:
-            raise RuntimeError("job already launched")
-        self.launched_at = self.sim.now
-        self.fmirun.start()
-        return self.done
-
-    # -- geometry ------------------------------------------------------------------
-    def ranks_of_slot(self, slot: int) -> List[int]:
-        return list(range(slot * self.ppn, (slot + 1) * self.ppn))
+    # -- rank factory ----------------------------------------------------------
+    def make_rank_process(self, rank: int, node: Node, incarnation: int = 0,
+                          **kwargs) -> FmiProcess:
+        return FmiProcess(self, rank, node, incarnation)
 
     # -- runtime services (called by FmiProcess) -------------------------------------
-    def register_endpoint(self, rank: int, fproc: FmiProcess) -> None:
-        """H1: publish this incarnation's transport address (this is
-        the endpoint update of Figure 8)."""
-        self.addr_table[rank] = fproc.ctx.addr
-
     def h1_rendezvous(self) -> PmgrRendezvous:
         epoch = self.epoch
         rdv = self._h1_rdv.get(epoch)
@@ -152,33 +120,10 @@ class FmiJob:
     def make_api(self, fproc: FmiProcess) -> FmiContext:
         return FmiContext(fproc)
 
-    def rank_finished(self, rank: int, result: Any) -> None:
-        self.finished_ranks.add(rank)
-        self.results[rank] = result
+    def _on_rank_finished(self, rank: int) -> None:
         self.detector.leave(rank)
-        if len(self.finished_ranks) == self.num_ranks and not self.done.triggered:
-            self.fmirun.shutdown()
-            self.done.succeed([self.results[r] for r in range(self.num_ranks)])
-
-    def process_lost(self, fproc: FmiProcess, exc: Exception) -> None:
-        """A rank process was killed (injected failure / node crash).
-        Recovery is driven by fmirun's task monitoring; nothing to do
-        here beyond bookkeeping."""
-
-    def abort(self, exc: BaseException) -> None:
-        if self.done.triggered:
-            return
-        for fproc in self.rank_procs.values():
-            if fproc.proc.alive:
-                fproc.proc.kill(cause="fmi job abort")
-        self.fmirun.shutdown()
-        self.done.fail(exc if isinstance(exc, FmiAbort) else FmiAbort(repr(exc)))
 
     # -- observability ---------------------------------------------------------------
-    @property
-    def finished(self) -> bool:
-        return self.done.triggered
-
     @property
     def recovery_count(self) -> int:
         return self.epoch

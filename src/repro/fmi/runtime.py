@@ -4,10 +4,13 @@ Hierarchy (Figure 6):
 
 * :class:`Fmirun` -- the master process.  Lives on the login node
   (outside the compute failure domain -- the paper acknowledges this
-  single point of failure and argues its MTBF is years).  Allocates
-  nodes (+ pre-reserved spares), starts an ``fmirun.task`` per node,
-  and on task failure finds a replacement node and respawns the lost
-  ranks.
+  single point of failure and argues its MTBF is years).  It is the
+  FMI face of the shared :class:`~repro.runtime.policy.Survivable`
+  fault policy: allocation with pre-reserved spares, per-node task
+  monitoring, recovery-epoch bumps, replacement acquisition, and
+  graceful drain all live in :mod:`repro.runtime`; this subclass binds
+  the knobs to :class:`~repro.fmi.config.FmiConfig` and supplies the
+  FMI task/process classes.
 * :class:`FmirunTask` -- one per node; spawns the node's application
   processes, kills its remaining children when one dies, and reports
   EXIT_FAILURE up to fmirun.
@@ -23,13 +26,15 @@ FMI's restart so much cheaper than MPI's relaunch.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.node import Node
 from repro.fmi.checkpoint import MemoryStorage
 from repro.fmi.errors import FailureNotified, FmiAbort
 from repro.fmi.interval import IntervalPolicy
 from repro.fmi.state import ProcState
+from repro.runtime.core import RankProcess
+from repro.runtime.policy import Survivable
 from repro.simt.kernel import Event
 from repro.simt.process import Interrupt, ProcessKilled
 
@@ -47,33 +52,35 @@ class RankState:
         self.policy = IntervalPolicy(config)
 
 
-class FmiProcess:
+class FmiProcess(RankProcess):
     """One rank's runtime process (one incarnation)."""
 
     def __init__(self, job, rank: int, node: Node, incarnation: int):
-        self.job = job
-        self.rank = rank
-        self.node = node
-        self.incarnation = incarnation
-        self.sim = job.sim
-        self.ctx = job.transport.create_context(node, f"fmi:r{rank}i{incarnation}")
         self.storage = MemoryStorage(node)
         self.rank_state = RankState(job.config)
         self.state = ProcState.H1_BOOTSTRAPPING
-        #: highest recovery generation this process has been told about
         self.notified_gen = -1
         self._notified_pending = False
-        self.proc = node.spawn(self._main(), name=f"fmi:rank{rank}.{incarnation}")
-        self.proc.callbacks.append(self._on_exit)
+        super().__init__(job, rank, node, incarnation)
+
+    def _ctx_label(self) -> str:
+        return f"fmi:r{self.rank}i{self.incarnation}"
+
+    def _proc_name(self) -> str:
+        return f"fmi:rank{self.rank}.{self.incarnation}"
 
     # -- liveness / notification ------------------------------------------------
     @property
-    def alive(self) -> bool:
-        return self.proc.alive and self.node.alive
-
-    @property
     def notified_pending(self) -> bool:
         return self._notified_pending
+
+    @property
+    def needs_resync(self) -> bool:
+        # H1/H2 processes have no log-ring overlay yet; fmirun must
+        # poke them directly over the PMGR tree.
+        return self.state in (
+            ProcState.H1_BOOTSTRAPPING, ProcState.H2_CONNECTING
+        )
 
     def notify_failure(self, generation: int, reason: str = "") -> None:
         """Deliver a failure notification (log-ring event or fmirun
@@ -105,22 +112,18 @@ class FmiProcess:
             )
 
     def _main(self):
+        # Overrides the fail-stop-shaped base: the boot latency is paid
+        # once per *process*, but the H1 -> H2 -> H3 body loops on every
+        # Notified transition -- a notification during boot must not
+        # re-charge the fork/exec cost.
         job = self.job
-        spec = job.machine.spec
         booted = False
         while True:
             try:
                 if not booted:
-                    # fork/exec + loading the executable (once per process).
-                    yield self.sim.timeout(
-                        spec.proc_spawn_latency + spec.exec_load_latency
-                    )
+                    yield from self._boot()
                     booted = True
-                yield from self._h1()
-                yield from self._h2()
-                result = yield from self._h3()
-                self._set_state(ProcState.DONE)
-                job.rank_finished(self.rank, result)
+                result = yield from self._body()
                 return result
             except (FailureNotified, Interrupt) as exc:
                 self._notified_pending = True  # stays set until H1 resets it
@@ -133,6 +136,14 @@ class FmiProcess:
                 )
                 continue  # Notified transition: back to H1
 
+    def _body(self):
+        yield from self._h1()
+        yield from self._h2()
+        result = yield from self._h3()
+        self._set_state(ProcState.DONE)
+        self.job.rank_finished(self.rank, result)
+        return result
+
     def _h1(self):
         """Bootstrapping: synchronise every rank, exchange endpoints."""
         self._set_state(ProcState.H1_BOOTSTRAPPING)
@@ -141,7 +152,7 @@ class FmiProcess:
         self.notified_gen = max(self.notified_gen, job.epoch)
         self.ctx.epoch = job.epoch  # stale pre-failure traffic now drops
         self.ctx.matching.reset()
-        job.register_endpoint(self.rank, self)
+        job.register_endpoint(self.rank, self.ctx)
         rdv = job.h1_rendezvous()
         yield rdv.arrive()
 
@@ -167,18 +178,6 @@ class FmiProcess:
         result = yield from job.app(api)
         return result
 
-    # -- exit handling ------------------------------------------------------------
-    def _on_exit(self, proc_evt: Event) -> None:
-        if proc_evt._ok or self.state is ProcState.DONE:
-            return
-        exc = proc_evt._value
-        if isinstance(exc, ProcessKilled):
-            # Injected failure / node crash: the survivable path.
-            self.job.process_lost(self, exc)
-        else:
-            # Programming error or unrecoverable condition: abort.
-            self.job.abort(exc)
-
 
 class FmirunTask:
     """Per-node process manager (the second tier of Figure 6)."""
@@ -203,11 +202,12 @@ class FmirunTask:
             self.fmirun.on_task_failure(self, "node-crash")
 
     def spawn_ranks(self, ranks: List[int], incarnation: int) -> None:
+        job = self.fmirun.job
         for rank in ranks:
-            fproc = FmiProcess(self.fmirun.job, rank, self.node, incarnation)
+            fproc = job.make_rank_process(rank, self.node, incarnation=incarnation)
             self.children.append(fproc)
             fproc.proc.callbacks.append(self._child_exit(fproc))
-            self.fmirun.job.rank_procs[rank] = fproc
+            job.rank_procs[rank] = fproc
 
     def _child_exit(self, fproc: FmiProcess):
         def cb(evt: Event) -> None:
@@ -235,162 +235,35 @@ class FmirunTask:
             self._guard.kill(cause="job teardown")
 
 
-class Fmirun:
-    """The master runtime process (head-node side)."""
+class Fmirun(Survivable):
+    """The master runtime process (head-node side).
 
-    def __init__(self, job):
-        self.job = job
-        self.sim = job.sim
-        self.machine = job.machine
-        self.alloc = None
-        self.node_slots: List[Node] = []
-        self.tasks: Dict[int, FmirunTask] = {}
-        self._last_bump_time: Optional[float] = None
-        self._recovery_proc = None
+    All the recovery machinery is inherited from
+    :class:`~repro.runtime.policy.Survivable`; this subclass wires the
+    policy knobs to the job's :class:`~repro.fmi.config.FmiConfig` and
+    supplies :class:`FmirunTask` as the per-node monitor.
+    """
 
-    # -- launch -----------------------------------------------------------------
-    def start(self) -> None:
-        job = self.job
-        self.alloc = self.machine.rm.allocate(
-            job.num_nodes, num_spares=job.config.spare_nodes
-        )
-        self.node_slots = list(self.alloc.nodes)
-        for slot, node in enumerate(self.node_slots):
-            self._start_task(slot, node, incarnation=0)
+    abort_error = FmiAbort
 
-    def _start_task(self, slot: int, node: Node, incarnation: int) -> None:
-        task = FmirunTask(self, slot, node)
-        self.tasks[slot] = task
-        ranks = self.job.ranks_of_slot(slot)
-        task.spawn_ranks(ranks, incarnation)
+    # -- knobs from FmiConfig -------------------------------------------------
+    @property
+    def num_spares(self) -> int:
+        return self.job.config.spare_nodes
 
-    # -- failure handling -----------------------------------------------------------
-    def on_task_failure(self, task: FmirunTask, cause: str) -> None:
-        if self.job.finished:
-            return
-        self.begin_recovery(f"task[{task.slot}]: {cause}")
+    @property
+    def max_recoveries(self) -> Optional[int]:
+        return self.job.config.max_recoveries
 
-    def begin_recovery(self, cause: str) -> None:
-        """Bump the recovery epoch (coalescing same-instant failures)
-        and make sure the replacement machinery is running."""
-        job = self.job
-        if self._last_bump_time == self.sim.now:
-            return
-        self._last_bump_time = self.sim.now
-        job.epoch += 1
-        job.recovery_causes.append((self.sim.now, cause))
-        if self.sim.tracer.enabled:
-            self.sim.tracer.instant(
-                "recovery.begin", "recovery", epoch=job.epoch, cause=cause,
-            )
-        if self.sim.metrics.enabled:
-            self.sim.metrics.counter("fmi.recoveries").inc()
-            self.sim.metrics.gauge("fmi.epoch").set(job.epoch)
-        if job.config.max_recoveries is not None and job.epoch > job.config.max_recoveries:
-            job.abort(FmiAbort(f"exceeded max_recoveries={job.config.max_recoveries}"))
-            return
-        # Processes already back in H1/H2 (recovering from an earlier
-        # failure) have no overlay to hear through; fmirun re-syncs them
-        # over the PMGR tree.  H3 processes hear via the log-ring.
-        for fproc in job.rank_procs.values():
-            if fproc.alive and fproc.state in (
-                ProcState.H1_BOOTSTRAPPING, ProcState.H2_CONNECTING
-            ):
-                fproc.notify_failure(job.epoch, "fmirun re-sync")
-        if self._recovery_proc is None or not self._recovery_proc.alive:
-            self._recovery_proc = self.sim.spawn(
-                self._recover(), name="fmirun.recover"
-            )
-        # Safety sweep: anything still un-notified well after the
-        # log-ring should have reached it gets a direct poke.
-        sweep = self.sim.timeout(1.0)
-        target = job.epoch
-        sweep.callbacks.append(lambda _e: self._sweep(target))
+    @property
+    def replacement_timeout(self) -> Optional[float]:
+        return self.job.config.replacement_timeout
 
-    def _sweep(self, generation: int) -> None:
-        job = self.job
-        if job.finished or job.epoch != generation:
-            return
-        for fproc in job.rank_procs.values():
-            if fproc.alive and fproc.notified_gen < generation:
-                fproc.notify_failure(generation, "fmirun sweep")
+    # -- FMI-specific pieces ---------------------------------------------------
+    def make_task(self, slot: int, node: Node) -> FmirunTask:
+        return FmirunTask(self, slot, node)
 
-    def _recover(self):
-        """Replace failed nodes and respawn their ranks (Figure 6)."""
-        job = self.job
-        spec = self.machine.spec
-        while True:
-            target_epoch = job.epoch
-            for slot in range(job.num_nodes):
-                node = self.node_slots[slot]
-                task = self.tasks.get(slot)
-                ranks = job.ranks_of_slot(slot)
-                if all(
-                    job.rank_procs[r].alive or r in job.finished_ranks
-                    for r in ranks
-                ) and node.alive and task is not None and not task.failed:
-                    continue
-                # This slot needs a fresh node (spare list first, then
-                # the resource manager).
-                if task is not None:
-                    task.shutdown()
-                new_node = self.alloc.take_spare()
-                if new_node is None:
-                    request = self.machine.rm.request_replacement()
-                    deadline = job.config.replacement_timeout
-                    if deadline is None:
-                        new_node = yield request
-                    else:
-                        from repro.simt.primitives import AnyOf
-
-                        idx, value = yield AnyOf(
-                            self.sim, [request, self.sim.timeout(deadline)]
-                        )
-                        if idx == 1:
-                            job.abort(FmiAbort(
-                                f"no replacement node granted within "
-                                f"{deadline}s (machine exhausted?)"
-                            ))
-                            return
-                        new_node = value
-                self.node_slots[slot] = new_node
-                yield self.sim.timeout(spec.proc_spawn_latency)  # start fmirun.task
-                incarnation = max(
-                    job.rank_procs[r].incarnation for r in ranks
-                ) + 1
-                self._start_task(slot, new_node, incarnation)
-            if job.epoch == target_epoch:
-                return
-
-    # -- dynamic leave (maintenance drain) ------------------------------------
-    def drain_slot(self, slot: int) -> None:
-        """Gracefully vacate a node ("compute nodes ... leave the job
-        dynamically", Section III-A).
-
-        The slot's ranks are migrated onto a replacement node through
-        the ordinary recovery machinery -- one rollback to the last
-        checkpoint, XOR rebuild of the leaving ranks' state -- and the
-        *healthy* node goes back to the resource manager's idle pool,
-        immediately available to other jobs (or as this job's next
-        replacement).
-        """
-        if self.job.finished:
-            raise RuntimeError("cannot drain a finished job")
-        task = self.tasks.get(slot)
-        node = self.node_slots[slot]
-        if task is None or task.failed or not node.alive:
-            raise RuntimeError(f"slot {slot} is not drainable")
-        for child in list(task.children):
-            if child.proc.alive:
-                child.proc.kill(cause=f"drain slot {slot}")
-                break  # the sibling-kill path takes down the rest
-        # The node is healthy; put it back in the pool once its guard
-        # process is gone (the child-death path killed it synchronously).
-        self.machine.rm.return_node(node)
-
-    # -- teardown ---------------------------------------------------------------
-    def shutdown(self) -> None:
-        for task in self.tasks.values():
-            task.shutdown()
-        if self.alloc is not None:
-            self.alloc.release()
+    def wrap_abort(self, cause) -> BaseException:
+        if isinstance(cause, FmiAbort):
+            return cause
+        return FmiAbort(repr(cause))

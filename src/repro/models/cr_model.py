@@ -1,21 +1,55 @@
-"""Section V-B: the XOR checkpoint/restart time model.
+"""Section V-B: the checkpoint/restart time model, per redundancy scheme.
 
-For ``s`` bytes of checkpoint data per rank in an XOR group of ``n``::
+For ``s`` bytes of checkpoint data per rank in a redundancy group of
+``n``::
 
-    T_ckpt    = s/mem_bw  +  (s + s/(n-1))/net_bw  +  s/mem_bw
-    T_restart = T_ckpt    +  s/net_bw               (the Gather stage)
+    XOR      T_ckpt    = s/mem_bw + (s + s/(n-1))/net_bw + s/mem_bw
+             T_restart = T_ckpt   + s/net_bw              (the Gather stage)
 
-The three checkpoint terms are the memcpy snapshot, the ring-pipelined
-parity transfer, and the XOR compute (memory-bound).  The model is
-independent of the *total* process count -- the paper's scalability
-argument for Fig 12 -- but when several ranks share a node their
-transfers share the NIC, so per-NODE quantities divide the node
+    PARTNER  T_ckpt    = s/mem_bw + s/net_bw + s/mem_bw
+             T_restart = s/mem_bw + 2s/net_bw + 2s/mem_bw
+
+    SINGLE   T_ckpt    = s/mem_bw
+             T_restart = s/mem_bw
+
+XOR's three checkpoint terms are the memcpy snapshot, the
+ring-pipelined parity transfer, and the XOR compute (memory-bound).
+PARTNER replaces the parity ring with a plain neighbour copy: ``s``
+bytes on the wire (instead of ``s + s/(n-1)``) and a second memcpy to
+store the partner's copy; its restart serialises the helper's copy and
+the feeder's re-protection blob through the replacement's single NIC
+(hence ``2s/net_bw``) and stores both (``2s/mem_bw``) after the
+survivors' parallel ``s/mem_bw`` loads.  SINGLE stores node-local only
+-- no network at all -- and can restart only ranks whose node
+survived.
+
+Every model is independent of the *total* process count -- the paper's
+scalability argument for Fig 12 -- but when several ranks share a node
+their transfers share the NIC, so per-NODE quantities divide the node
 bandwidths accordingly (``procs_per_node`` parameter).
 """
 
 from __future__ import annotations
 
-__all__ = ["checkpoint_time", "restart_time", "per_node_throughput"]
+__all__ = [
+    "checkpoint_time",
+    "restart_time",
+    "storage_overhead",
+    "per_node_throughput",
+    "SCHEMES",
+]
+
+#: scheme names understood by every function in this module
+SCHEMES = ("xor", "partner", "single")
+
+
+def _check(s: float, group_size: int, scheme: str) -> None:
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r} (choose from {SCHEMES})")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    if scheme in ("xor", "partner") and group_size < 2:
+        raise ValueError("group_size must be >= 2")
 
 
 def checkpoint_time(
@@ -24,6 +58,7 @@ def checkpoint_time(
     mem_bw: float,
     net_bw: float,
     procs_per_node: int = 1,
+    scheme: str = "xor",
 ) -> float:
     """Modelled level-1 checkpoint time for ``s`` bytes/rank.
 
@@ -31,12 +66,13 @@ def checkpoint_time(
     effective per-rank bandwidths scale down by that factor (they all
     checkpoint simultaneously).
     """
-    if group_size < 2:
-        raise ValueError("group_size must be >= 2")
-    if s < 0:
-        raise ValueError("s must be >= 0")
+    _check(s, group_size, scheme)
     mem = mem_bw / procs_per_node
     net = net_bw / procs_per_node
+    if scheme == "single":
+        return s / mem
+    if scheme == "partner":
+        return s / mem + s / net + s / mem
     transfer = s + s / (group_size - 1)
     return s / mem + transfer / net + s / mem
 
@@ -47,18 +83,47 @@ def restart_time(
     mem_bw: float,
     net_bw: float,
     procs_per_node: int = 1,
+    scheme: str = "xor",
 ) -> float:
-    """Modelled restart time: decode mirrors encode, plus the gather of
-    the rebuilt ``s`` bytes to the newly launched rank."""
+    """Modelled restart time of one replacement rank.
+
+    XOR: decode mirrors encode, plus the gather of the rebuilt ``s``
+    bytes to the newly launched rank.  PARTNER: the helper's copy and
+    the feeder's re-protection blob share the replacement's NIC, then
+    both are stored.  SINGLE: a local read-back (a lost member is
+    beyond level-1 repair).
+    """
+    _check(s, group_size, scheme)
+    mem = mem_bw / procs_per_node
     net = net_bw / procs_per_node
-    return checkpoint_time(s, group_size, mem_bw, net_bw, procs_per_node) + s / net
+    if scheme == "single":
+        return s / mem
+    if scheme == "partner":
+        return s / mem + 2 * s / net + 2 * s / mem
+    return (
+        checkpoint_time(s, group_size, mem_bw, net_bw, procs_per_node)
+        + s / net
+    )
+
+
+def storage_overhead(scheme: str, group_size: int) -> float:
+    """Redundancy bytes stored per checkpoint byte (on top of the
+    snapshot itself)."""
+    _check(0.0, group_size, scheme)
+    if scheme == "single":
+        return 0.0
+    if scheme == "partner":
+        return 1.0
+    return 1.0 / (group_size - 1)
 
 
 def per_node_throughput(
-    s_per_node: float, group_size: int, mem_bw: float, net_bw: float, restart: bool = False
+    s_per_node: float, group_size: int, mem_bw: float, net_bw: float,
+    restart: bool = False, scheme: str = "xor",
 ) -> float:
     """Checkpoint (or restart) bytes/s per node -- Fig 12's y-axis,
     normalised per node.  Constant in the number of nodes."""
     fn = restart_time if restart else checkpoint_time
-    t = fn(s_per_node, group_size, mem_bw, net_bw, procs_per_node=1)
+    t = fn(s_per_node, group_size, mem_bw, net_bw, procs_per_node=1,
+           scheme=scheme)
     return s_per_node / t

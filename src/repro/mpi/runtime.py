@@ -8,6 +8,12 @@ exception -- the whole job is torn down (every surviving rank killed)
 and the job event fails with :class:`JobAborted`.  That is MPI's
 fail-stop contract, the thing FMI exists to avoid.
 
+The launch machinery (allocation, context table, rank spawning, abort)
+lives in :mod:`repro.runtime`; this module is only the MPI-specific
+glue: the :class:`~repro.runtime.policy.FailStop` policy plus a rank
+body that runs ``MPI_Init`` and hands the application an
+:class:`~repro.mpi.api.MpiApi`.
+
 :class:`MpiRestartDriver` is the ``mpirun``-in-a-batch-script loop of
 traditional C/R: relaunch the job after each abort (replacing dead
 nodes through the resource manager, keeping rank→node placement stable
@@ -17,30 +23,39 @@ latency and a fresh ``MPI_Init`` every time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.cluster.machine import Machine
 from repro.cluster.node import Node
 from repro.mpi.api import MpiApi
-from repro.net.pmgr import PmgrRendezvous
-from repro.net.transport import Transport
-from repro.simt.kernel import Event
-from repro.simt.process import Process
+from repro.runtime.core import JobAborted, JobBase, RankProcess
+from repro.runtime.policy import FailStop
 
 __all__ = ["MpiJob", "JobAborted", "MpiRestartDriver"]
 
 AppFactory = Callable[[MpiApi], Any]  # callable(api) -> generator
 
 
-class JobAborted(RuntimeError):
-    """The fail-stop tear-down: some rank died, so every rank died."""
+class MpiRankProcess(RankProcess):
+    """One MPI rank: boot, ``MPI_Init`` rendezvous, run the app."""
 
-    def __init__(self, cause: Any):
-        super().__init__(f"MPI job aborted: {cause}")
-        self.cause = cause
+    def __init__(self, job: "MpiJob", rank: int, node: Node, rendezvous):
+        self.rendezvous = rendezvous
+        super().__init__(job, rank, node)
+
+    def _body(self):
+        job = self.job
+        yield self.rendezvous.arrive()  # MPI_Init
+        if self.rank == 0:
+            job.init_done_at = self.sim.now
+        api = MpiApi(job.transport, self.ctx, self.rank, job.num_ranks,
+                     job.addr_table)
+        api.job = job  # SCR & apps reach machine-level services through this
+        result = yield from job.app(api)
+        return result
 
 
-class MpiJob:
+class MpiJob(JobBase):
     """One launch of an MPI application (one ``srun``/``mpirun``)."""
 
     def __init__(
@@ -53,106 +68,31 @@ class MpiJob:
         charge_init: bool = True,
         name: str = "mpi",
     ):
-        if nprocs < 1 or procs_per_node < 1:
-            raise ValueError("nprocs and procs_per_node must be >= 1")
-        if nprocs % procs_per_node != 0:
-            raise ValueError("nprocs must be a multiple of procs_per_node")
-        self.machine = machine
-        self.sim = machine.sim
-        self.app = app
-        self.nprocs = nprocs
-        self.ppn = procs_per_node
-        self.name = name
-        self.num_nodes = nprocs // procs_per_node
-        self._own_alloc = None
-        if nodes is None:
-            self._own_alloc = machine.rm.allocate(self.num_nodes)
-            nodes = self._own_alloc.nodes
-        if len(nodes) < self.num_nodes:
-            raise ValueError("not enough nodes for the requested ranks")
-        self.nodes = nodes[: self.num_nodes]
-        self.charge_init = charge_init
-        spec = machine.spec
-        self.transport = Transport(machine, sw_overhead=spec.network.sw_overhead_mpi)
-        self.done: Event = self.sim.event()
-        self._results: Dict[int, Any] = {}
-        self._procs: List[Process] = []
-        self._aborting = False
-        #: simulated time MPI_Init completed (None until then); Fig 14's metric
-        self.init_done_at: Optional[float] = None
-        self.launched_at: Optional[float] = None
+        super().__init__(
+            machine, app, nprocs, procs_per_node,
+            policy=FailStop(nodes=nodes, charge_init=charge_init),
+            name=name,
+            sw_overhead=machine.spec.network.sw_overhead_mpi,
+        )
 
-    # -- helpers ------------------------------------------------------------
-    def node_of_rank(self, rank: int) -> Node:
-        return self.nodes[rank // self.ppn]
+    # -- compatibility aliases ------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.num_ranks
 
-    # -- launch ----------------------------------------------------------------
-    def launch(self) -> Event:
-        """Start the job; returns the job-completion event (value: the
-        list of per-rank app return values)."""
-        if self.launched_at is not None:
-            raise RuntimeError("job already launched")
-        self.launched_at = self.sim.now
-        spec = self.machine.spec
-        init_cost = spec.mpi_init_time(self.nprocs) if self.charge_init else 0.0
-        rendezvous = PmgrRendezvous(self.sim, self.nprocs, cost=init_cost)
+    @property
+    def charge_init(self) -> bool:
+        return self.policy.charge_init
 
-        self._static_table: Dict[int, Tuple[int, int]] = {}
-        contexts = []
-        for rank in range(self.nprocs):
-            node = self.node_of_rank(rank)
-            if not node.alive:
-                self._abort(f"launch onto dead node {node.id}")
-                return self.done
-            ctx = self.transport.create_context(node, f"{self.name}:r{rank}")
-            contexts.append(ctx)
-            self._static_table[rank] = ctx.addr
-        for rank, ctx in enumerate(contexts):
-            node = self.node_of_rank(rank)
-            proc = node.spawn(
-                self._rank_main(rank, node, ctx, rendezvous),
-                name=f"{self.name}:rank{rank}",
-            )
-            self._procs.append(proc)
-            proc.callbacks.append(self._rank_finished(rank))
-        if self._own_alloc is not None:
-            self.done.callbacks.append(lambda _e: self._own_alloc.release())
-        return self.done
+    @property
+    def _procs(self):
+        """The raw simulated processes, rank order (tests/observability)."""
+        return [self.rank_procs[r].proc for r in sorted(self.rank_procs)]
 
-    def _rank_main(self, rank: int, node: Node, ctx, rendezvous):
-        spec = self.machine.spec
-        yield self.sim.timeout(spec.proc_spawn_latency + spec.exec_load_latency)
-        yield rendezvous.arrive()  # MPI_Init
-        if rank == 0:
-            self.init_done_at = self.sim.now
-        api = MpiApi(self.transport, ctx, rank, self.nprocs, self._static_table)
-        api.job = self  # SCR & apps reach machine-level services through this
-        result = yield from self.app(api)
-        return result
-
-    # -- completion & abort -------------------------------------------------------
-    def _rank_finished(self, rank: int):
-        def cb(proc_evt) -> None:
-            if self.done.triggered:
-                return
-            if proc_evt._ok:
-                self._results[rank] = proc_evt._value
-                if len(self._results) == self.nprocs:
-                    self.done.succeed([self._results[r] for r in range(self.nprocs)])
-            else:
-                self._abort(proc_evt._value)
-
-        return cb
-
-    def _abort(self, cause: Any) -> None:
-        if self._aborting:
-            return
-        self._aborting = True
-        for proc in self._procs:
-            if proc.alive:
-                proc.kill(cause="job-abort")
-        if not self.done.triggered:
-            self.done.fail(JobAborted(cause))
+    # -- rank factory ---------------------------------------------------------
+    def make_rank_process(self, rank: int, node: Node, rendezvous=None,
+                          **kwargs) -> MpiRankProcess:
+        return MpiRankProcess(self, rank, node, rendezvous)
 
 
 class MpiRestartDriver:

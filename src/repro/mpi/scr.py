@@ -20,8 +20,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.fmi.checkpoint import TmpfsStorage, XorCheckpointEngine
+from repro.fmi.checkpoint import CheckpointEngine, TmpfsStorage
 from repro.fmi.config import FmiConfig
+from repro.fmi.redundancy import make_scheme
 from repro.fmi.interval import IntervalPolicy
 from repro.fmi.payload import Payload
 from repro.fmi.xor_group import XorGroupLayout
@@ -44,6 +45,7 @@ class Scr:
         group_size: int = 16,
         interval: Optional[int] = None,
         mtbf_seconds: Optional[float] = None,
+        scheme: str = "xor",
     ):
         self.api = api
         group = min(group_size, api.size // procs_per_node)
@@ -53,7 +55,8 @@ class Scr:
             api, SCR_COMM_BASE + gid, self.layout.members(gid)
         )
         self.storage = TmpfsStorage(api.node, prefix=f"scr/r{api.rank}")
-        self.engine = XorCheckpointEngine(self.group_comm, self.storage, api.memcpy)
+        self.engine = CheckpointEngine(self.group_comm, self.storage,
+                                       api.memcpy, scheme=make_scheme(scheme))
         self.policy = IntervalPolicy(
             FmiConfig(interval=interval, mtbf_seconds=mtbf_seconds,
                       xor_group_size=max(2, group))

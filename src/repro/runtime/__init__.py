@@ -1,0 +1,35 @@
+"""repro.runtime -- the launch-stack core both MPI and FMI build on.
+
+The paper's central contrast -- fail-stop MPI relaunch vs. FMI's
+survivable in-place recovery (Figures 6 and 14) -- is a difference in
+*fault policy*, not in launch mechanics.  Both stacks allocate nodes,
+create per-rank network contexts, spawn rank processes (paying spawn +
+exec-load latency), rendezvous, collect results, and tear down.  This
+package owns that shared machinery:
+
+* :class:`~repro.runtime.core.JobBase` -- allocation geometry, the
+  rank -> address context table, result collection, abort/teardown.
+* :class:`~repro.runtime.core.RankProcess` -- one rank's lifecycle:
+  context creation, boot latency, exit-callback dispatch.
+* :class:`~repro.runtime.policy.FaultPolicy` -- the seam.
+  :class:`~repro.runtime.policy.FailStop` kills the whole job on any
+  rank death (MPI semantics); :class:`~repro.runtime.policy.Survivable`
+  replaces lost nodes in place (spare pool, recovery-epoch bump, the
+  machinery behind FMI's fmirun master).
+
+``repro.mpi.runtime`` and ``repro.fmi`` specialise these classes; new
+fault-tolerance strategies are one policy subclass, not a third forked
+stack.
+"""
+
+from repro.runtime.core import JobAborted, JobBase, RankProcess
+from repro.runtime.policy import FailStop, FaultPolicy, Survivable
+
+__all__ = [
+    "FailStop",
+    "FaultPolicy",
+    "JobAborted",
+    "JobBase",
+    "RankProcess",
+    "Survivable",
+]

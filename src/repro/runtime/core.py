@@ -1,0 +1,215 @@
+"""Job and rank-process lifecycle shared by the MPI and FMI stacks.
+
+:class:`JobBase` is the blackboard both runtimes read and write: the
+placement geometry, the rank -> transport-address table, the recovery
+epoch, the per-rank results, and the single ``done`` event.  The
+policy object attached at construction decides what happens when a
+rank dies (see :mod:`repro.runtime.policy`).
+
+:class:`RankProcess` wraps one rank's simulated process: it creates
+the rank's network context, charges the spawn + exec-load boot
+latency, runs the stack-specific body, and routes the process's exit
+event to the job's fault policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.net.transport import NetContext, Transport
+from repro.simt.kernel import Event
+
+__all__ = ["JobAborted", "JobBase", "RankProcess"]
+
+
+class JobAborted(RuntimeError):
+    """The fail-stop tear-down: some rank died, so every rank died."""
+
+    def __init__(self, cause: Any):
+        super().__init__(f"MPI job aborted: {cause}")
+        self.cause = cause
+
+
+class RankProcess:
+    """One rank's runtime process (one incarnation).
+
+    Subclasses override :meth:`_body` (what runs after boot) and, when
+    a rank can outlive its first process (FMI), :meth:`_main` itself.
+    """
+
+    def __init__(self, job: "JobBase", rank: int, node: Node, incarnation: int = 0):
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.incarnation = incarnation
+        self.sim = job.sim
+        self.ctx: NetContext = job.transport.create_context(node, self._ctx_label())
+        self.proc = node.spawn(self._main(), name=self._proc_name())
+        self.proc.callbacks.append(self._dispatch_exit)
+
+    # -- naming hooks -------------------------------------------------------
+    def _ctx_label(self) -> str:
+        return f"{self.job.name}:r{self.rank}"
+
+    def _proc_name(self) -> str:
+        return f"{self.job.name}:rank{self.rank}"
+
+    # -- liveness -----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.proc.alive and self.node.alive
+
+    def kill(self, cause: str) -> None:
+        if self.proc.alive:
+            self.proc.kill(cause=cause)
+
+    # -- failure notification (survivable stacks override) -------------------
+    #: highest recovery generation this process has been told about
+    notified_gen = -1
+
+    @property
+    def needs_resync(self) -> bool:
+        """True when this process cannot hear failures through the
+        normal detection overlay and needs a direct poke (FMI's
+        processes in H1/H2)."""
+        return False
+
+    def notify_failure(self, generation: int, reason: str = "") -> None:
+        """Deliver a failure notification.  Fail-stop ranks never
+        receive one (the job dies first)."""
+
+    # -- lifecycle ----------------------------------------------------------
+    def _boot(self):
+        """fork/exec + loading the executable (once per process)."""
+        spec = self.job.machine.spec
+        yield self.sim.timeout(spec.proc_spawn_latency + spec.exec_load_latency)
+
+    def _main(self):
+        yield from self._boot()
+        result = yield from self._body()
+        return result
+
+    def _body(self):
+        raise NotImplementedError
+
+    def _dispatch_exit(self, proc_evt: Event) -> None:
+        self.job.policy.on_rank_exit(self, proc_evt)
+
+
+class JobBase:
+    """One launch of a parallel application on the simulated machine.
+
+    Owns everything the two stacks used to duplicate: validation,
+    transport creation, the context table, result collection, the
+    completion event, and abort/teardown.  Allocation and placement
+    are delegated to the attached :class:`~repro.runtime.policy
+    .FaultPolicy` (eager whole-job allocation for fail-stop, spare-
+    backed slot allocation for survivable).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        app: Callable[..., Any],
+        num_ranks: int,
+        procs_per_node: int,
+        policy,
+        name: str,
+        sw_overhead: Optional[float] = None,
+    ):
+        if num_ranks < 1 or procs_per_node < 1:
+            raise ValueError("num_ranks and procs_per_node must be >= 1")
+        if num_ranks % procs_per_node != 0:
+            raise ValueError("num_ranks must be a multiple of procs_per_node")
+        self.machine = machine
+        self.sim = machine.sim
+        self.app = app
+        self.num_ranks = num_ranks
+        self.ppn = procs_per_node
+        self.num_nodes = num_ranks // procs_per_node
+        self.name = name
+        self.transport = Transport(machine, sw_overhead=sw_overhead)
+
+        # -- shared runtime state --
+        self.epoch = 0
+        self.rank_procs: Dict[int, RankProcess] = {}
+        self.addr_table: Dict[int, Tuple[int, int]] = {}
+        self.finished_ranks: Set[int] = set()
+        self.results: Dict[int, Any] = {}
+        self.done: Event = self.sim.event()
+        self.launched_at: Optional[float] = None
+        #: simulated time init (MPI_Init / FMI's first H2 exit) completed
+        self.init_done_at: Optional[float] = None
+        #: (time, cause) per recovery epoch (empty for fail-stop jobs)
+        self.recovery_causes: List[Tuple[float, str]] = []
+
+        # Bind last: the policy may allocate nodes (fail-stop does so
+        # eagerly, matching srun's behaviour) and attach teardown hooks
+        # to ``done``.
+        self.policy = policy
+        policy.bind(self)
+
+    # -- geometry -----------------------------------------------------------
+    def ranks_of_slot(self, slot: int) -> List[int]:
+        return list(range(slot * self.ppn, (slot + 1) * self.ppn))
+
+    def slot_of_rank(self, rank: int) -> int:
+        return rank // self.ppn
+
+    def node_of_rank(self, rank: int) -> Node:
+        return self.policy.node_of_rank(rank)
+
+    # -- context table ------------------------------------------------------
+    def register_endpoint(self, rank: int, ctx: NetContext) -> None:
+        """Publish a rank's current transport address (for FMI this is
+        the per-epoch endpoint update of Figure 8)."""
+        self.addr_table[rank] = ctx.addr
+
+    # -- rank-process factory (stack-specific) -------------------------------
+    def make_rank_process(self, rank: int, node: Node, **kwargs) -> RankProcess:
+        raise NotImplementedError
+
+    # -- launch -------------------------------------------------------------
+    def launch(self) -> Event:
+        """Start the job; returns the job-completion event (value: the
+        list of per-rank app return values)."""
+        if self.launched_at is not None:
+            raise RuntimeError("job already launched")
+        self.launched_at = self.sim.now
+        self.policy.start()
+        return self.done
+
+    # -- completion & abort --------------------------------------------------
+    def rank_finished(self, rank: int, result: Any) -> None:
+        if self.done.triggered:
+            return
+        self.finished_ranks.add(rank)
+        self.results[rank] = result
+        self._on_rank_finished(rank)
+        if len(self.finished_ranks) == self.num_ranks:
+            self.policy.shutdown()
+            self.done.succeed([self.results[r] for r in range(self.num_ranks)])
+
+    def _on_rank_finished(self, rank: int) -> None:
+        """Hook for per-rank completion bookkeeping (FMI deregisters
+        the rank from the failure detector here)."""
+
+    def process_lost(self, rproc: RankProcess, exc: BaseException) -> None:
+        """A rank process was killed (injected failure / node crash)
+        under a survivable policy.  Recovery is driven by the policy's
+        node monitoring; nothing to do here beyond bookkeeping."""
+
+    def abort(self, cause: Any) -> None:
+        if self.done.triggered:
+            return
+        for rproc in list(self.rank_procs.values()):
+            rproc.kill(cause="job-abort")
+        self.policy.shutdown()
+        self.done.fail(self.policy.wrap_abort(cause))
+
+    # -- observability -------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered

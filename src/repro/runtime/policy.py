@@ -1,0 +1,310 @@
+"""The fault-policy seam: what happens when a rank dies.
+
+:class:`FailStop` is MPI's contract -- any rank death tears the whole
+job down and the job event fails with
+:class:`~repro.runtime.core.JobAborted`.  :class:`Survivable` is the
+machinery behind FMI's fmirun master (Figure 6): pre-reserved spares,
+per-node task monitoring, the recovery-epoch bump, replacement-node
+acquisition, and graceful drain.  Both operate purely through the
+:class:`~repro.runtime.core.JobBase` blackboard, so a new strategy
+(process replication, partial restart...) is one subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import Node
+from repro.net.pmgr import PmgrRendezvous
+from repro.runtime.core import JobAborted, JobBase, RankProcess
+from repro.simt.kernel import Event
+from repro.simt.process import ProcessKilled
+
+__all__ = ["FaultPolicy", "FailStop", "Survivable"]
+
+
+class FaultPolicy:
+    """Strategy object owning allocation, placement, and rank-death
+    handling for one :class:`~repro.runtime.core.JobBase`."""
+
+    job: JobBase
+
+    def bind(self, job: JobBase) -> None:
+        """Attach to a job (called once, at the end of job __init__).
+        May allocate nodes and hook teardown onto ``job.done``."""
+        self.job = job
+
+    def node_of_rank(self, rank: int) -> Node:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Create contexts and spawn every rank (job launch)."""
+        raise NotImplementedError
+
+    def on_rank_exit(self, rproc: RankProcess, proc_evt: Event) -> None:
+        """A rank process exited (successfully or not)."""
+        raise NotImplementedError
+
+    def wrap_abort(self, cause) -> BaseException:
+        """Turn an abort cause into the exception ``job.done`` fails with."""
+        if isinstance(cause, BaseException):
+            return cause
+        return RuntimeError(str(cause))
+
+    def shutdown(self) -> None:
+        """Job teardown (completion or abort)."""
+
+
+class FailStop(FaultPolicy):
+    """MPI semantics: eager whole-job allocation, one launch, and any
+    rank death kills every rank."""
+
+    def __init__(self, nodes: Optional[List[Node]] = None, charge_init: bool = True):
+        self.nodes = nodes
+        self.charge_init = charge_init
+        self.alloc = None
+
+    def bind(self, job: JobBase) -> None:
+        super().bind(job)
+        nodes = self.nodes
+        if nodes is None:
+            # srun-style: the allocation is grabbed when the job object
+            # is created, released when the job event triggers.
+            self.alloc = job.machine.rm.allocate(job.num_nodes)
+            nodes = self.alloc.nodes
+        if len(nodes) < job.num_nodes:
+            raise ValueError("not enough nodes for the requested ranks")
+        self.nodes = nodes[: job.num_nodes]
+        job.nodes = self.nodes
+        if self.alloc is not None:
+            job.done.callbacks.append(lambda _e: self.alloc.release())
+
+    def node_of_rank(self, rank: int) -> Node:
+        return self.nodes[self.job.slot_of_rank(rank)]
+
+    def init_cost(self) -> float:
+        spec = self.job.machine.spec
+        return spec.mpi_init_time(self.job.num_ranks) if self.charge_init else 0.0
+
+    def start(self) -> None:
+        job = self.job
+        for rank in range(job.num_ranks):
+            node = self.node_of_rank(rank)
+            if not node.alive:
+                job.abort(f"launch onto dead node {node.id}")
+                return
+        rendezvous = PmgrRendezvous(job.sim, job.num_ranks, cost=self.init_cost())
+        for rank in range(job.num_ranks):
+            rproc = job.make_rank_process(
+                rank, self.node_of_rank(rank), rendezvous=rendezvous
+            )
+            job.rank_procs[rank] = rproc
+            job.register_endpoint(rank, rproc.ctx)
+
+    def on_rank_exit(self, rproc: RankProcess, proc_evt: Event) -> None:
+        if proc_evt._ok:
+            self.job.rank_finished(rproc.rank, proc_evt._value)
+        else:
+            self.job.abort(proc_evt._value)
+
+    def wrap_abort(self, cause) -> BaseException:
+        if isinstance(cause, JobAborted):
+            return cause
+        return JobAborted(cause)
+
+
+class Survivable(FaultPolicy):
+    """In-place recovery: spare-backed slots, per-node tasks, and the
+    recovery-epoch machine.
+
+    Subclasses provide the per-node task object (:meth:`make_task`,
+    FMI's ``fmirun.task``) and the policy knobs below; everything else
+    -- slot bookkeeping, epoch bumps with same-instant coalescing,
+    replacement acquisition (spares first, then the resource manager),
+    the re-sync of ranks that cannot hear the detection overlay, the
+    safety sweep, and graceful drain -- is shared machinery.
+    """
+
+    #: pre-reserved spare nodes requested with the allocation
+    num_spares: int = 0
+    #: give up after this many recoveries; None = unlimited
+    max_recoveries: Optional[int] = None
+    #: seconds to wait for a replacement node; None = wait forever
+    replacement_timeout: Optional[float] = None
+    #: exception type raised on policy-level aborts
+    abort_error = RuntimeError
+
+    def bind(self, job: JobBase) -> None:
+        super().bind(job)
+        self.sim = job.sim
+        self.machine = job.machine
+        self.alloc = None
+        self.node_slots: List[Node] = []
+        self.tasks: Dict[int, object] = {}
+        self._last_bump_time: Optional[float] = None
+        self._recovery_proc = None
+
+    def node_of_rank(self, rank: int) -> Node:
+        return self.node_slots[self.job.slot_of_rank(rank)]
+
+    # -- per-node task factory (stack-specific) ------------------------------
+    def make_task(self, slot: int, node: Node):
+        raise NotImplementedError
+
+    # -- launch --------------------------------------------------------------
+    def start(self) -> None:
+        job = self.job
+        self.alloc = self.machine.rm.allocate(
+            job.num_nodes, num_spares=self.num_spares
+        )
+        self.node_slots = list(self.alloc.nodes)
+        for slot, node in enumerate(self.node_slots):
+            self._start_task(slot, node, incarnation=0)
+
+    def _start_task(self, slot: int, node: Node, incarnation: int) -> None:
+        task = self.make_task(slot, node)
+        self.tasks[slot] = task
+        task.spawn_ranks(self.job.ranks_of_slot(slot), incarnation)
+
+    # -- rank death ----------------------------------------------------------
+    def on_rank_exit(self, rproc: RankProcess, proc_evt: Event) -> None:
+        if proc_evt._ok or rproc.rank in self.job.finished_ranks:
+            return
+        exc = proc_evt._value
+        if isinstance(exc, ProcessKilled):
+            # Injected failure / node crash: the survivable path.
+            self.job.process_lost(rproc, exc)
+        else:
+            # Programming error or unrecoverable condition: abort.
+            self.job.abort(exc)
+
+    def on_task_failure(self, task, cause: str) -> None:
+        if self.job.finished:
+            return
+        self.begin_recovery(f"task[{task.slot}]: {cause}")
+
+    # -- recovery ------------------------------------------------------------
+    def begin_recovery(self, cause: str) -> None:
+        """Bump the recovery epoch (coalescing same-instant failures)
+        and make sure the replacement machinery is running."""
+        job = self.job
+        if self._last_bump_time == self.sim.now:
+            return
+        self._last_bump_time = self.sim.now
+        job.epoch += 1
+        job.recovery_causes.append((self.sim.now, cause))
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "recovery.begin", "recovery", epoch=job.epoch, cause=cause,
+            )
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("fmi.recoveries").inc()
+            self.sim.metrics.gauge("fmi.epoch").set(job.epoch)
+        if self.max_recoveries is not None and job.epoch > self.max_recoveries:
+            job.abort(self.abort_error(
+                f"exceeded max_recoveries={self.max_recoveries}"
+            ))
+            return
+        # Processes already recovering from an earlier failure have no
+        # detection overlay to hear through; the master re-syncs them
+        # directly.  Running processes hear via the overlay (log-ring).
+        for rproc in job.rank_procs.values():
+            if rproc.alive and rproc.needs_resync:
+                rproc.notify_failure(job.epoch, "fmirun re-sync")
+        if self._recovery_proc is None or not self._recovery_proc.alive:
+            self._recovery_proc = self.sim.spawn(
+                self._recover(), name="fmirun.recover"
+            )
+        # Safety sweep: anything still un-notified well after the
+        # overlay should have reached it gets a direct poke.
+        sweep = self.sim.timeout(1.0)
+        target = job.epoch
+        sweep.callbacks.append(lambda _e: self._sweep(target))
+
+    def _sweep(self, generation: int) -> None:
+        job = self.job
+        if job.finished or job.epoch != generation:
+            return
+        for rproc in job.rank_procs.values():
+            if rproc.alive and rproc.notified_gen < generation:
+                rproc.notify_failure(generation, "fmirun sweep")
+
+    def _recover(self):
+        """Replace failed nodes and respawn their ranks (Figure 6)."""
+        job = self.job
+        spec = self.machine.spec
+        while True:
+            target_epoch = job.epoch
+            for slot in range(job.num_nodes):
+                node = self.node_slots[slot]
+                task = self.tasks.get(slot)
+                ranks = job.ranks_of_slot(slot)
+                if all(
+                    job.rank_procs[r].alive or r in job.finished_ranks
+                    for r in ranks
+                ) and node.alive and task is not None and not task.failed:
+                    continue
+                # This slot needs a fresh node (spare list first, then
+                # the resource manager).
+                if task is not None:
+                    task.shutdown()
+                new_node = self.alloc.take_spare()
+                if new_node is None:
+                    request = self.machine.rm.request_replacement()
+                    deadline = self.replacement_timeout
+                    if deadline is None:
+                        new_node = yield request
+                    else:
+                        from repro.simt.primitives import AnyOf
+
+                        idx, value = yield AnyOf(
+                            self.sim, [request, self.sim.timeout(deadline)]
+                        )
+                        if idx == 1:
+                            job.abort(self.abort_error(
+                                f"no replacement node granted within "
+                                f"{deadline}s (machine exhausted?)"
+                            ))
+                            return
+                        new_node = value
+                self.node_slots[slot] = new_node
+                yield self.sim.timeout(spec.proc_spawn_latency)  # start the task
+                incarnation = max(
+                    job.rank_procs[r].incarnation for r in ranks
+                ) + 1
+                self._start_task(slot, new_node, incarnation)
+            if job.epoch == target_epoch:
+                return
+
+    # -- dynamic leave (maintenance drain) ------------------------------------
+    def drain_slot(self, slot: int) -> None:
+        """Gracefully vacate a node ("compute nodes ... leave the job
+        dynamically", Section III-A).
+
+        The slot's ranks are migrated onto a replacement node through
+        the ordinary recovery machinery -- one rollback to the last
+        checkpoint, redundancy-group rebuild of the leaving ranks'
+        state -- and the *healthy* node goes back to the resource
+        manager's idle pool, immediately available to other jobs (or as
+        this job's next replacement).
+        """
+        if self.job.finished:
+            raise RuntimeError("cannot drain a finished job")
+        task = self.tasks.get(slot)
+        node = self.node_slots[slot]
+        if task is None or task.failed or not node.alive:
+            raise RuntimeError(f"slot {slot} is not drainable")
+        for child in list(task.children):
+            if child.proc.alive:
+                child.proc.kill(cause=f"drain slot {slot}")
+                break  # the sibling-kill path takes down the rest
+        # The node is healthy; put it back in the pool once its guard
+        # process is gone (the child-death path killed it synchronously).
+        self.machine.rm.return_node(node)
+
+    # -- teardown ---------------------------------------------------------------
+    def shutdown(self) -> None:
+        for task in self.tasks.values():
+            task.shutdown()
+        if self.alloc is not None:
+            self.alloc.release()

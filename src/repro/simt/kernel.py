@@ -182,7 +182,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the heap is empty."""
-        while self._heap:
+        if self._heap:
             return self._heap[0][0]
         return float("inf")
 
@@ -220,7 +220,6 @@ class Simulator:
             if not limit_event.ok:
                 raise limit_event.value
             return limit_event.value
-        if limit_time is not None and self.now < limit_time and not self._heap:
-            # drained early; clock stays at last event time by convention
-            pass
+        # If the heap drained before limit_time, the clock stays at the
+        # last event time by convention.
         return None
