@@ -1,0 +1,58 @@
+"""repro.chaos -- fault-injection campaigns for the survivable runtime.
+
+A Jepsen-style adversarial-schedule harness on top of the simulator and
+the observability layer:
+
+* :mod:`~repro.chaos.scenario` -- the declarative DSL: triggers
+  (fixed time, trace event, seeded random schedule) x actions (kill
+  slot/node/rank, drain) armed by a :class:`ChaosEngine`;
+* :mod:`~repro.chaos.campaigns` -- canned campaigns covering the
+  corner matrix (mid-checkpoint kill, kill-during-recovery, double
+  kill in one XOR group, spare exhaustion, drain-then-fail);
+* :mod:`~repro.chaos.invariants` -- runtime-wide properties checked
+  against the trace and runtime state after every run;
+* :mod:`~repro.chaos.runner` -- deterministic (campaign, seed)
+  execution and the seed-sweep soak.
+
+CLI (see ``python -m repro.chaos --help``)::
+
+    python -m repro.chaos --campaign all --seeds 25   # the soak
+    python -m repro.chaos --replay drain-then-fail:7  # one failing pair
+"""
+
+from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.invariants import (
+    DetectorMonitor,
+    Violation,
+    check_all,
+    check_answer,
+    check_detector_bounded,
+    check_epoch_monotone,
+    check_no_stale_delivery,
+    check_posted_receives,
+)
+from repro.chaos.runner import MAX_EVENTS, RunResult, run_campaign, soak
+from repro.chaos.scenario import (
+    AtTime,
+    ChaosEngine,
+    DrainSlot,
+    KillNode,
+    KillRandomSlot,
+    KillRank,
+    KillSlot,
+    OnEvent,
+    RandomTimes,
+    Rule,
+    Scenario,
+)
+
+__all__ = [
+    "AtTime", "OnEvent", "RandomTimes",
+    "KillSlot", "KillRandomSlot", "KillNode", "KillRank", "DrainSlot",
+    "Rule", "Scenario", "ChaosEngine",
+    "CAMPAIGNS", "Campaign",
+    "Violation", "DetectorMonitor", "check_all",
+    "check_epoch_monotone", "check_no_stale_delivery",
+    "check_posted_receives", "check_detector_bounded", "check_answer",
+    "RunResult", "run_campaign", "soak", "MAX_EVENTS",
+]

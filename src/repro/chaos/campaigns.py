@@ -1,0 +1,177 @@
+"""The canned campaign library: the corner matrix of recovery.
+
+Each campaign is one adversarial failure *class*; the seed parametrises
+victim choice and timing inside that class, so a seed sweep explores
+many schedules of the same shape.  All campaigns run the verifiable
+:func:`~repro.apps.synthetic.bsp_app` recurrence, so the invariant
+checker can demand the surviving run's answer be bit-equal to the
+failure-free one.
+
+* ``mid-checkpoint-kill`` -- a node dies exactly when an XOR encode
+  starts (the ``ckpt.encode.begin`` marker), leaving the group with a
+  torn dataset that versioning must roll back.
+* ``kill-during-recovery`` -- a second node dies inside the recovery
+  window opened by the first (at ``recovery.begin`` + jitter), nesting
+  epochs.
+* ``double-kill-xor-group`` -- both nodes of one XOR group die within a
+  tiny gap: beyond level-1 repair, so the multilevel fallback must pull
+  the level-2 dataset from the PFS.
+* ``spare-exhaustion`` -- more kills than pre-reserved spares; fmirun
+  must fall through to on-demand resource-manager grants.
+* ``drain-then-fail`` -- a healthy node is drained (and returned to the
+  pool), then another node fails; the recovery may reclaim the drained
+  node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.chaos.scenario import (
+    AtTime,
+    DrainSlot,
+    KillRandomSlot,
+    KillSlot,
+    OnEvent,
+    RandomTimes,
+    Rule,
+)
+from repro.fmi.config import FmiConfig
+
+__all__ = ["Campaign", "CAMPAIGNS"]
+
+RulesFn = Callable[[np.random.Generator, "Campaign"], List[Rule]]
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One failure class: job geometry + config + seeded rule builder."""
+
+    name: str
+    summary: str
+    rules: RulesFn
+    num_ranks: int = 8
+    ppn: int = 2
+    iterations: int = 10
+    work_s: float = 0.25
+    halo_bytes: float = 1e4
+    spare_nodes: int = 2
+    #: idle nodes beyond job + spares (the RM's on-demand pool)
+    pool_extra: int = 2
+    config_extra: Dict = field(default_factory=dict)
+
+    @property
+    def num_slots(self) -> int:
+        return self.num_ranks // self.ppn
+
+    @property
+    def total_nodes(self) -> int:
+        return self.num_slots + self.spare_nodes + self.pool_extra
+
+    def make_config(self) -> FmiConfig:
+        kwargs = dict(
+            interval=1, xor_group_size=4, spare_nodes=self.spare_nodes,
+        )
+        kwargs.update(self.config_extra)
+        return FmiConfig(**kwargs)
+
+
+# --------------------------------------------------------------- rule builders
+def _mid_checkpoint_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Every checkpoint round emits one encode.begin per rank; picking
+    # the n-th marker lands the kill inside one of the first few
+    # checkpoints, with sub-encode jitter.
+    nth = int(rng.integers(1, 3 * c.num_ranks + 1))
+    slot = int(rng.integers(c.num_slots))
+    delay = float(rng.uniform(0.0, 0.005))
+    return [Rule(OnEvent("ckpt.encode.begin", count=nth, delay=delay),
+                 KillSlot(slot))]
+
+
+def _kill_during_recovery_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    first = int(rng.integers(c.num_slots))
+    second = int((first + 1 + rng.integers(c.num_slots - 1)) % c.num_slots)
+    t0 = float(rng.uniform(1.5, 3.5))
+    # delay 0 coalesces into one epoch; > 0 nests a second recovery
+    # inside the H1/H2 window of the first.
+    delay = float(rng.choice([0.0, 0.05, 0.2, 0.5]))
+    return [
+        Rule(AtTime(t0), KillSlot(first)),
+        Rule(OnEvent("recovery.begin", count=1, delay=delay), KillSlot(second)),
+    ]
+
+
+def _double_kill_xor_group_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Group 0 (ranks 0..3 at ppn=2) lives on slots 0 and 1: killing
+    # both wipes the whole group -- beyond XOR repair.
+    t = float(rng.uniform(2.0, 4.0))
+    gap = float(rng.choice([0.0, 0.02, 0.2]))
+    return [
+        Rule(AtTime(t), KillSlot(0)),
+        Rule(AtTime(t + gap), KillSlot(1)),
+    ]
+
+
+def _spare_exhaustion_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    spacing = float(rng.uniform(1.5, 2.5))
+    return [Rule(RandomTimes(k=3, mean_spacing=spacing, start=1.5),
+                 KillRandomSlot())]
+
+
+def _drain_then_fail_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    drained = int(rng.integers(c.num_slots))
+    victim = int(rng.integers(c.num_slots))
+    t1 = float(rng.uniform(1.0, 2.0))
+    t2 = t1 + float(rng.uniform(1.0, 2.0))
+    return [
+        Rule(AtTime(t1), DrainSlot(drained)),
+        Rule(AtTime(t2), KillSlot(victim)),
+    ]
+
+
+# ------------------------------------------------------------------ registry
+CAMPAIGNS: Dict[str, Campaign] = {
+    c.name: c
+    for c in [
+        Campaign(
+            "mid-checkpoint-kill",
+            "node dies while an XOR encode is in flight",
+            _mid_checkpoint_rules,
+        ),
+        Campaign(
+            "kill-during-recovery",
+            "second failure lands inside the recovery window",
+            _kill_during_recovery_rules,
+            pool_extra=3,
+            # At ppn=2 a 4-rank XOR group spans two slots, so the two
+            # kills can wipe a whole group; level 2 makes that survivable.
+            config_extra={"level2_every": 1},
+        ),
+        Campaign(
+            "double-kill-xor-group",
+            "both nodes of one XOR group die; level-2 fallback",
+            _double_kill_xor_group_rules,
+            config_extra={"level2_every": 1},
+            pool_extra=3,
+        ),
+        Campaign(
+            "spare-exhaustion",
+            "more kills than pre-reserved spares; on-demand RM grants",
+            _spare_exhaustion_rules,
+            spare_nodes=1,
+            pool_extra=4,
+            config_extra={"level2_every": 1},
+        ),
+        Campaign(
+            "drain-then-fail",
+            "graceful drain, then a real failure",
+            _drain_then_fail_rules,
+            spare_nodes=1,
+            pool_extra=3,
+            config_extra={"level2_every": 1},
+        ),
+    ]
+}

@@ -1,0 +1,237 @@
+"""Runtime-wide invariants checked after (and during) every chaos run.
+
+Each checker consumes the observability streams -- the trace, the
+metrics, and a handful of public runtime counters -- and returns a list
+of :class:`Violation` s (empty = green):
+
+* **epoch-monotone** -- per rank, the recovery epoch stamped on
+  ``fmi.state`` transitions never decreases, and ``fmi.notify``
+  generations are strictly increasing per incarnation.
+* **no-stale-delivery** -- every ``net.recv`` carries the receiving
+  context's epoch (``ctx_epoch``); a delivery with an envelope epoch
+  older than its context would mean the transport's epoch filter
+  (Section IV-D) was bypassed.
+* **posted-receives** -- at job end, every context that is still live
+  has no pending (un-triggered) posted receive: each posted receive was
+  either matched or cancelled by a recovery reset; superseded contexts
+  must have been closed.
+* **detector-bounded** -- the log-ring connection table holds at most
+  ``2 x out-degree`` entries per rank, and no *closed* connection
+  lingers in it longer than the ibverbs close delay allows
+  (:class:`DetectorMonitor` samples during the run, since the table is
+  legitimately empty once every rank has left).
+* **answer** -- the application's per-rank results are bit-equal to the
+  failure-free reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Violation", "DetectorMonitor",
+    "check_epoch_monotone", "check_no_stale_delivery",
+    "check_posted_receives", "check_detector_bounded", "check_answer",
+    "check_all",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+# ----------------------------------------------------------- trace checkers
+def check_epoch_monotone(tracer) -> List[Violation]:
+    """Recovery epochs never run backwards, per rank."""
+    out: List[Violation] = []
+    last_state_epoch: Dict[int, int] = {}
+    last_notify_gen: Dict[tuple, int] = {}
+    for ev in tracer.events:
+        if ev.name == "fmi.state":
+            prev = last_state_epoch.get(ev.rank)
+            if prev is not None and ev.epoch < prev:
+                out.append(Violation(
+                    "epoch-monotone",
+                    f"rank {ev.rank} state epoch went {prev} -> {ev.epoch} "
+                    f"at t={ev.ts:.6g}",
+                ))
+            last_state_epoch[ev.rank] = ev.epoch
+        elif ev.name == "fmi.notify":
+            key = (ev.rank, ev.incarnation)
+            prev = last_notify_gen.get(key)
+            if prev is not None and ev.epoch <= prev:
+                out.append(Violation(
+                    "epoch-monotone",
+                    f"rank {ev.rank} (inc {ev.incarnation}) notified of "
+                    f"generation {ev.epoch} after {prev} at t={ev.ts:.6g}",
+                ))
+            last_notify_gen[key] = ev.epoch
+    return out
+
+
+def check_no_stale_delivery(tracer) -> List[Violation]:
+    """No envelope from an older epoch was delivered into a context."""
+    out: List[Violation] = []
+    for ev in tracer.events:
+        if ev.name != "net.recv":
+            continue
+        ctx_epoch = ev.args.get("ctx_epoch")
+        if ctx_epoch is not None and ev.epoch < ctx_epoch:
+            out.append(Violation(
+                "no-stale-delivery",
+                f"rank {ev.rank} received an epoch-{ev.epoch} envelope "
+                f"in an epoch-{ctx_epoch} context at t={ev.ts:.6g}",
+            ))
+    return out
+
+
+# ---------------------------------------------------------- state checkers
+def check_posted_receives(job) -> List[Violation]:
+    """Every posted receive was matched or cancelled.
+
+    Swept over *all* contexts the job's transport ever created: live
+    contexts must have drained (their ranks finished); contexts of dead
+    incarnations must have been closed or sit on dead nodes.
+    """
+    out: List[Violation] = []
+    for ctx in job.transport.contexts:
+        if ctx.closed or not ctx.node.alive:
+            continue
+        pending = ctx.matching.pending_posted
+        if pending:
+            out.append(Violation(
+                "posted-receives",
+                f"context {ctx.label} (addr {ctx.addr}) still has "
+                f"{pending} pending posted receive(s) at job end",
+            ))
+    return out
+
+
+class DetectorMonitor:
+    """Samples the log-ring detector's connection table during a run.
+
+    The boundedness invariant cannot be checked only at job end -- every
+    rank's ``leave()`` empties its own list, so the final table is empty
+    even with the accumulation bug present.  Instead the monitor samples
+    every ``sample_dt`` simulated seconds and records:
+
+    * the largest per-rank entry count seen (must stay within
+      ``2 x out-degree``: a rank's incoming plus outgoing log-ring
+      edges);
+    * any *closed* connection that stays in the table longer than
+      ``grace`` seconds.  Transiently-closed entries are legal (a node
+      death closes edges ~0.2 s before the detector hears the ibverbs
+      event); a closed entry that survives past the grace window is the
+      neighbour-list leak.
+    """
+
+    def __init__(self, job, sample_dt: float = 0.25, grace: float = 1.0):
+        self.job = job
+        self.sample_dt = sample_dt
+        self.grace = grace
+        self.samples = 0
+        self.max_entries = 0
+        self._stale_first_seen: Dict[int, float] = {}
+        self.violations: List[Violation] = []
+
+    def start(self) -> None:
+        self.job.sim.spawn(self._run(), name="chaos.detector-monitor")
+
+    def _run(self):
+        sim = self.job.sim
+        while not self.job.finished:
+            self.sample()
+            yield sim.timeout(self.sample_dt)
+
+    def sample(self) -> None:
+        self.samples += 1
+        now = self.job.sim.now
+        seen_stale = set()
+        for rank, conns in self.job.detector._conns.items():
+            self.max_entries = max(self.max_entries, len(conns))
+            rproc = self.job.rank_procs.get(rank)
+            if rproc is None or not rproc.alive:
+                # A dead rank's list is garbage-collected when its
+                # replacement rejoins; nobody is alive to hear its
+                # disconnect events meanwhile.  The leak this monitor
+                # hunts is closed entries in *live* ranks' lists.
+                continue
+            for conn in conns:
+                if conn.open:
+                    continue
+                seen_stale.add(id(conn))
+                first = self._stale_first_seen.setdefault(id(conn), now)
+                if now - first > self.grace:
+                    self.violations.append(Violation(
+                        "detector-bounded",
+                        f"closed connection {conn.ends} still in rank "
+                        f"{rank}'s table {now - first:.3g}s after it was "
+                        f"first seen closed (t={now:.6g})",
+                    ))
+                    seen_stale.discard(id(conn))  # report once
+        self._stale_first_seen = {
+            k: v for k, v in self._stale_first_seen.items() if k in seen_stale
+        }
+
+
+def check_detector_bounded(job, monitor: DetectorMonitor) -> List[Violation]:
+    out = list(monitor.violations)
+    bound = 2 * job.detector.connections_per_rank(job.num_ranks)
+    if monitor.max_entries > bound:
+        out.append(Violation(
+            "detector-bounded",
+            f"a rank's connection table reached {monitor.max_entries} "
+            f"entries (log-ring bound: {bound})",
+        ))
+    return out
+
+
+# -------------------------------------------------------------- the answer
+def check_answer(results: Sequence, reference: Sequence) -> List[Violation]:
+    """Per-rank results must be *bit-equal* to the failure-free run."""
+    out: List[Violation] = []
+    if len(results) != len(reference):
+        return [Violation(
+            "answer",
+            f"{len(results)} results vs {len(reference)} in the reference",
+        )]
+    for rank, (got, want) in enumerate(zip(results, reference)):
+        if isinstance(want, np.ndarray):
+            same = isinstance(got, np.ndarray) and np.array_equal(got, want)
+        else:
+            same = got == want
+        if not same:
+            out.append(Violation(
+                "answer",
+                f"rank {rank}: {got!r} != failure-free {want!r}",
+            ))
+    return out
+
+
+# ------------------------------------------------------------------ driver
+def check_all(
+    job,
+    tracer,
+    results: Optional[Sequence],
+    reference: Optional[Sequence],
+    monitor: Optional[DetectorMonitor] = None,
+) -> List[Violation]:
+    """Run every checker; ``results=None`` means the job never finished
+    (already reported by the runner as its own violation)."""
+    out: List[Violation] = []
+    out += check_epoch_monotone(tracer)
+    out += check_no_stale_delivery(tracer)
+    out += check_posted_receives(job)
+    if monitor is not None:
+        out += check_detector_bounded(job, monitor)
+    if results is not None and reference is not None:
+        out += check_answer(results, reference)
+    return out

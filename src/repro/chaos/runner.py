@@ -1,0 +1,149 @@
+"""Run one (campaign, seed) pair and check every invariant.
+
+The runner builds a fresh simulator + machine + traced FMI job for the
+pair, arms the campaign's scenario through a :class:`ChaosEngine`,
+samples the failure detector with a :class:`DetectorMonitor`, drives
+the simulation to completion (bounded by ``MAX_EVENTS`` so a livelock
+becomes a reported violation instead of a hang), and runs the full
+invariant suite against the trace and runtime state.
+
+Determinism: everything stochastic -- victim slots, kill times, event
+jitter -- is drawn from the machine's seeded ``"chaos"`` RNG stream, so
+``run_campaign(c, seed)`` replays the exact same schedule every time.
+The failure-free reference results are computed once per campaign and
+cached (they do not depend on the seed: the BSP app is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.invariants import DetectorMonitor, Violation, check_all
+from repro.chaos.scenario import ChaosEngine, Scenario
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.apps.synthetic import bsp_app
+from repro.fmi import FmiJob
+from repro.obs import MetricsRegistry, Tracer
+from repro.simt import Simulator
+from repro.simt.kernel import SimulationError
+from repro.simt.rng import RngRegistry
+
+__all__ = ["RunResult", "run_campaign", "soak", "MAX_EVENTS"]
+
+#: hard event budget per run; hitting it is reported as a liveness
+#: violation (a deadlocked run would otherwise just run out of heap,
+#: a livelocked one would spin forever)
+MAX_EVENTS = 3_000_000
+
+_reference_cache: Dict[str, list] = {}
+
+
+@dataclass
+class RunResult:
+    campaign: str
+    seed: int
+    violations: List[Violation]
+    recoveries: int
+    injected: List[Tuple[float, str]]
+    sim_time: float
+    trace_events: int
+    stale_dropped: int
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _resolve(campaign: Union[str, Campaign]) -> Campaign:
+    if isinstance(campaign, Campaign):
+        return campaign
+    try:
+        return CAMPAIGNS[campaign]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {campaign!r} (known: {known})")
+
+
+def _build_job(campaign: Campaign, seed: int):
+    sim = Simulator()
+    machine = Machine(
+        sim, SIERRA.with_nodes(campaign.total_nodes), RngRegistry(seed)
+    )
+    job = FmiJob(
+        machine,
+        bsp_app(campaign.iterations, campaign.work_s, campaign.halo_bytes),
+        num_ranks=campaign.num_ranks,
+        procs_per_node=campaign.ppn,
+        config=campaign.make_config(),
+    )
+    return sim, machine, job
+
+
+def reference_results(campaign: Union[str, Campaign]) -> list:
+    """The failure-free per-rank results (cached per campaign)."""
+    campaign = _resolve(campaign)
+    cached = _reference_cache.get(campaign.name)
+    if cached is None:
+        sim, _machine, job = _build_job(campaign, seed=0)
+        cached = sim.run(until=job.launch(), max_events=MAX_EVENTS)
+        _reference_cache[campaign.name] = cached
+    return cached
+
+
+def run_campaign(
+    campaign: Union[str, Campaign], seed: int, keep_trace: bool = False
+) -> RunResult:
+    """One deterministic chaos run + full invariant check."""
+    campaign = _resolve(campaign)
+    reference = reference_results(campaign)
+
+    sim, machine, job = _build_job(campaign, seed)
+    tracer = Tracer(sim)
+    MetricsRegistry(sim)
+    rng = machine.rng.stream("chaos")
+    scenario = Scenario(campaign.name, campaign.rules(rng, campaign))
+    engine = ChaosEngine(job, rng)
+    monitor = DetectorMonitor(job)
+
+    done = job.launch()
+    engine.arm(scenario)
+    monitor.start()
+
+    violations: List[Violation] = []
+    results: Optional[Sequence] = None
+    try:
+        results = sim.run(until=done, max_events=MAX_EVENTS)
+    except SimulationError as exc:
+        violations.append(Violation("liveness", str(exc)))
+    except Exception as exc:  # job aborted (FmiAbort, ...)
+        violations.append(Violation("liveness", f"job failed: {exc!r}"))
+    engine.disarm()
+    monitor.sample()  # one final look at the detector table
+
+    violations += check_all(job, tracer, results, reference, monitor)
+    return RunResult(
+        campaign=campaign.name,
+        seed=seed,
+        violations=violations,
+        recoveries=job.epoch,
+        injected=list(engine.injected),
+        sim_time=sim.now,
+        trace_events=len(tracer.events),
+        stale_dropped=job.transport.dropped_stale,
+        tracer=tracer if keep_trace else None,
+    )
+
+
+def soak(
+    campaigns: Sequence[Union[str, Campaign]], seeds: Sequence[int]
+) -> List[RunResult]:
+    """Sweep ``campaigns x seeds``; returns every run's result."""
+    out: List[RunResult] = []
+    for campaign in campaigns:
+        for seed in seeds:
+            out.append(run_campaign(campaign, seed))
+    return out

@@ -1,0 +1,236 @@
+"""Declarative fault-injection scenarios: the chaos DSL.
+
+A :class:`Scenario` is a named list of :class:`Rule` s, each pairing a
+*trigger* (when) with an *action* (what):
+
+triggers
+    :class:`AtTime` -- a fixed simulated time;
+    :class:`OnEvent` -- the ``count``-th trace event matching a name
+    (and optional predicate), plus an optional extra ``delay`` -- this
+    is how a kill lands exactly at ``ckpt.encode.begin`` or
+    ``recovery.begin``;
+    :class:`RandomTimes` -- ``k`` firings with exponential spacing
+    drawn from the engine's seeded RNG stream.
+
+actions
+    :class:`KillSlot` / :class:`KillRandomSlot` -- crash whichever node
+    currently holds a job slot (replacements included);
+    :class:`KillNode` -- crash a machine node by id;
+    :class:`KillRank` -- kill one rank's *process*, leaving its node up
+    (exercises the fmirun.task sibling-kill / EXIT_FAILURE path);
+    :class:`DrainSlot` -- gracefully vacate a slot (Section III-A).
+
+The :class:`ChaosEngine` arms a scenario against a launched job.  Every
+action fires from the event heap (a timeout callback), never from
+inside a tracer listener: the trace event that triggers a kill is
+frequently emitted by the very generator the kill would close, and a
+generator cannot be closed from its own frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.cluster.failures import EventInjector
+
+__all__ = [
+    "AtTime", "OnEvent", "RandomTimes",
+    "KillSlot", "KillRandomSlot", "KillNode", "KillRank", "DrainSlot",
+    "Rule", "Scenario", "ChaosEngine",
+]
+
+
+# ---------------------------------------------------------------- triggers
+@dataclass(frozen=True)
+class AtTime:
+    """Fire at a fixed simulated time (clamped to now if in the past)."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class OnEvent:
+    """Fire ``delay`` seconds after the ``count``-th trace event whose
+    name equals ``name`` and for which ``where`` (if given) is true."""
+
+    name: str
+    count: int = 1
+    delay: float = 0.0
+    where: Optional[Callable[[object], bool]] = None
+
+
+@dataclass(frozen=True)
+class RandomTimes:
+    """Fire ``k`` times, with Exp(``mean_spacing``) gaps drawn from the
+    engine's seeded RNG stream, starting at ``start``."""
+
+    k: int
+    mean_spacing: float
+    start: float = 0.0
+
+
+Trigger = Union[AtTime, OnEvent, RandomTimes]
+
+
+# ----------------------------------------------------------------- actions
+@dataclass(frozen=True)
+class KillSlot:
+    """Crash the node currently holding job slot ``slot``."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class KillRandomSlot:
+    """Crash a uniformly random *live* slot (engine RNG stream)."""
+
+
+@dataclass(frozen=True)
+class KillNode:
+    """Crash machine node ``node_id``."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class KillRank:
+    """Kill rank ``rank``'s process; its node stays up."""
+
+    rank: int
+
+
+@dataclass(frozen=True)
+class DrainSlot:
+    """Gracefully vacate slot ``slot`` (maintenance drain)."""
+
+    slot: int
+
+
+Action = Union[KillSlot, KillRandomSlot, KillNode, KillRank, DrainSlot]
+
+
+@dataclass(frozen=True)
+class Rule:
+    trigger: Trigger
+    action: Action
+
+
+@dataclass
+class Scenario:
+    """A named fault schedule: what to break, and when."""
+
+    name: str
+    rules: List[Rule] = field(default_factory=list)
+
+
+# ------------------------------------------------------------------ engine
+class ChaosEngine:
+    """Arms a :class:`Scenario` against a (survivable) job.
+
+    ``rng`` is the seeded stream used by :class:`RandomTimes` spacing
+    and :class:`KillRandomSlot` victim selection; scenarios without
+    either can omit it.  ``injected`` records ``(time, description)``
+    for every action fired -- the soak driver prints it when replaying
+    a failing seed.
+    """
+
+    def __init__(self, job, rng=None):
+        self.job = job
+        self.sim = job.sim
+        self.rng = rng
+        self.injected: List[Tuple[float, str]] = []
+        self._injectors: List[EventInjector] = []
+
+    # -- arming -----------------------------------------------------------
+    def arm(self, scenario: Scenario) -> None:
+        for rule in scenario.rules:
+            self._arm_rule(rule)
+
+    def _arm_rule(self, rule: Rule) -> None:
+        trig = rule.trigger
+        if isinstance(trig, AtTime):
+            self._at(max(0.0, trig.t - self.sim.now), rule.action)
+        elif isinstance(trig, RandomTimes):
+            if self.rng is None:
+                raise ValueError("RandomTimes triggers need an engine rng")
+            t = trig.start
+            for _ in range(trig.k):
+                t += float(self.rng.exponential(trig.mean_spacing))
+                self._at(max(0.0, t - self.sim.now), rule.action)
+        elif isinstance(trig, OnEvent):
+            name, where = trig.name, trig.where
+
+            def match(ev, _name=name, _where=where):
+                return ev.name == _name and (_where is None or _where(ev))
+
+            injector = EventInjector(
+                self.sim, match,
+                lambda action=rule.action: self._fire(action),
+                count=trig.count, delay=trig.delay,
+            )
+            injector.start()
+            self._injectors.append(injector)
+        else:
+            raise TypeError(f"unknown trigger {trig!r}")
+
+    def _at(self, delay: float, action: Action) -> None:
+        timer = self.sim.timeout(delay)
+        timer.callbacks.append(lambda _e: self._fire(action))
+
+    def disarm(self) -> None:
+        for injector in self._injectors:
+            injector.stop()
+        self._injectors.clear()
+
+    # -- firing -----------------------------------------------------------
+    def _record(self, desc: str) -> None:
+        self.injected.append((self.sim.now, desc))
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant("chaos.inject", "failure", action=desc)
+
+    def _fire(self, action: Action) -> None:
+        job = self.job
+        if job.finished:
+            return
+        if isinstance(action, KillRandomSlot):
+            if self.rng is None:
+                raise ValueError("KillRandomSlot needs an engine rng")
+            live = [
+                slot for slot, node in enumerate(job.fmirun.node_slots)
+                if node.alive
+            ]
+            if not live:
+                self._record("kill-random-slot: no live slots")
+                return
+            action = KillSlot(live[int(self.rng.integers(len(live)))])
+        if isinstance(action, KillSlot):
+            node = job.fmirun.node_slots[action.slot]
+            if not node.alive:
+                self._record(f"kill slot {action.slot}: already dead")
+                return
+            self._record(f"kill slot {action.slot} (node {node.id})")
+            node.crash(f"chaos: slot {action.slot}")
+        elif isinstance(action, KillNode):
+            node = job.machine.node(action.node_id)
+            if not node.alive:
+                self._record(f"kill node {action.node_id}: already dead")
+                return
+            self._record(f"kill node {action.node_id}")
+            node.crash("chaos: node kill")
+        elif isinstance(action, KillRank):
+            rproc = job.rank_procs.get(action.rank)
+            if rproc is None or not rproc.proc.alive:
+                self._record(f"kill rank {action.rank}: already dead")
+                return
+            self._record(f"kill rank {action.rank} (process only)")
+            rproc.proc.kill(cause=f"chaos: rank {action.rank}")
+        elif isinstance(action, DrainSlot):
+            try:
+                job.fmirun.drain_slot(action.slot)
+            except RuntimeError as exc:
+                self._record(f"drain slot {action.slot}: refused ({exc})")
+                return
+            self._record(f"drain slot {action.slot}")
+        else:
+            raise TypeError(f"unknown action {action!r}")

@@ -30,6 +30,7 @@ __all__ = [
     "FailureInjector",
     "MtbfInjector",
     "TraceInjector",
+    "EventInjector",
     "TSUBAME2_FAILURE_TYPES",
     "TSUBAME2_TABLE1_CLASSES",
 ]
@@ -259,6 +260,83 @@ class TraceInjector:
             if self.sim.metrics.enabled:
                 self.sim.metrics.counter("failures.injected", type="trace").inc()
             self.kill(list(nodes))
+
+
+class EventInjector:
+    """Fire an action when a matching *trace event* is recorded.
+
+    This bridges the observability stream back into the failure domain:
+    arm it with a predicate over :class:`~repro.obs.tracer.TraceEvent`
+    records (e.g. the ``ckpt.encode.begin`` marker, or
+    ``recovery.begin``) and it fires ``action`` once, ``delay`` seconds
+    after the ``count``-th match.  The chaos campaign engine uses this
+    for its on-event triggers ("kill a node exactly when the XOR encode
+    starts").
+
+    The action is always deferred through a (possibly zero-delay)
+    timeout, never run from inside the tracer callback: the matching
+    event is often emitted by the very generator the action is about to
+    kill, and a generator cannot be closed from its own frame.
+
+    Requires an attached, *enabled* tracer -- event triggers cannot see
+    anything through :data:`~repro.obs.tracer.NULL_TRACER`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        match: Callable[[object], bool],
+        action: Callable[[], None],
+        count: int = 1,
+        delay: float = 0.0,
+    ):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.sim = sim
+        self.match = match
+        self.action = action
+        self.count = count
+        self.delay = delay
+        self.seen = 0
+        self.fired_at: Optional[float] = None
+        self._armed = False
+
+    def start(self) -> None:
+        tracer = self.sim.tracer
+        if not getattr(tracer, "enabled", False) or not hasattr(
+            tracer, "add_listener"
+        ):
+            raise RuntimeError(
+                "EventInjector needs an attached, enabled Tracer "
+                "(the NULL_TRACER records nothing to trigger on)"
+            )
+        if self._armed:
+            raise RuntimeError("injector already started")
+        self._armed = True
+        tracer.add_listener(self._on_trace_event)
+
+    def stop(self) -> None:
+        if self._armed:
+            self._armed = False
+            self.sim.tracer.remove_listener(self._on_trace_event)
+
+    def _on_trace_event(self, ev) -> None:
+        if not self._armed or not self.match(ev):
+            return
+        self.seen += 1
+        if self.seen < self.count:
+            return
+        self.stop()
+        timer = self.sim.timeout(self.delay)
+        timer.callbacks.append(lambda _e: self._fire())
+
+    def _fire(self) -> None:
+        self.fired_at = self.sim.now
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("failures.injected", type="event").inc()
+        self.action()
 
 
 class MtbfInjector:

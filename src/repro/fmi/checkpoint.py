@@ -245,6 +245,16 @@ class CheckpointEngine:
             scheme=self.scheme.name, **args,
         )
 
+    def _trace_mark(self, name: str, **args) -> None:
+        """Emit one instant ``ckpt`` marker.  Spans are recorded at
+        phase *end* (with a retroactive start), so these begin markers
+        are the only live signal that a phase just started -- the chaos
+        engine keys mid-checkpoint fault injection off them."""
+        api = self.comm.api
+        self.sim.tracer.instant(
+            name, "ckpt", rank=api.world_rank, node=api.node.id, **args,
+        )
+
     # -- local dataset bookkeeping -------------------------------------------
     def completed_ids(self) -> List[int]:
         if not self.storage.has_meta(_COMPLETED_KEY):
@@ -289,6 +299,8 @@ class CheckpointEngine:
         n = self.comm.size
         traced = self.sim.tracer.enabled
         t_total = self.sim.now
+        if traced:
+            self._trace_mark("ckpt.begin", dataset=dataset_id)
         sections = [(p.data.nbytes, p.nbytes) for p in payloads]
         blob = _concat(payloads)
 
@@ -307,6 +319,9 @@ class CheckpointEngine:
             self._trace_span("ckpt.snapshot", t_phase, dataset=dataset_id,
                              nbytes=blob.nbytes)
         t_phase = self.sim.now
+        if traced:
+            self._trace_mark("ckpt.encode.begin", dataset=dataset_id,
+                             nbytes=blob.nbytes)
         redundancy = yield from self.scheme.encode(blob)
         if traced:
             self._trace_span("ckpt.encode", t_phase, dataset=dataset_id,
@@ -372,6 +387,8 @@ class CheckpointEngine:
         :class:`UnrecoverableFailure` is raised.
         """
         t0 = self.sim.now
+        if self.sim.tracer.enabled:
+            self._trace_mark("ckpt.restore.begin")
         result = yield from self._restore_inner(world_agree, allow_beyond_xor)
         if self.sim.tracer.enabled:
             if result == "beyond-xor":

@@ -40,10 +40,34 @@ class LogRingDetector:
         self._cascaded: Dict[int, int] = {}  # rank -> last generation cascaded
         #: (rank, time, generation) notification record -- Fig 13's data
         self.notifications: List[Tuple[int, float, int]] = []
+        # Registered after the ConnectionManager's own death listener, so
+        # by the time _on_node_death runs the node's edges are closed.
+        job.machine.on_node_death(self._on_node_death)
 
     # -- membership -----------------------------------------------------------
     def connections_per_rank(self, n: int) -> int:
         return len(logring_neighbors(0, n, self.k))
+
+    def _unlink(self, conn: Connection) -> None:
+        """Drop a (closed) connection from both endpoints' lists.
+
+        Every teardown path must call this: ``join`` appends each edge
+        to *both* ends, so popping only the dying rank's list leaves the
+        closed object in its neighbours' lists until they happen to
+        rejoin -- which a long failure-free stretch or an early-finished
+        rank never does.
+        """
+        for key in conn.ends:
+            rank = key[0]
+            lst = self._conns.get(rank)
+            if lst is None:
+                continue
+            try:
+                lst.remove(conn)
+            except ValueError:
+                continue
+            if not lst:
+                self._conns.pop(rank, None)
 
     def join(self, fproc, epoch: int) -> None:
         """``fproc`` (in H2) enters the epoch's overlay.
@@ -55,6 +79,7 @@ class LogRingDetector:
         rank = fproc.rank
         for conn in self._conns.pop(rank, []):
             conn.close_silent()
+            self._unlink(conn)
         self._joined_epoch[rank] = epoch
         self._conns[rank] = []
         n = self.job.num_ranks
@@ -90,6 +115,7 @@ class LogRingDetector:
         """Silently drop a rank's overlay edges (finished rank)."""
         for conn in self._conns.pop(rank, []):
             conn.close_silent()
+            self._unlink(conn)
         self._joined_epoch.pop(rank, None)
 
     # -- death without node death ------------------------------------------------
@@ -99,12 +125,36 @@ class LogRingDetector:
         for conn in self._conns.pop(rank, []):
             epoch = self._joined_epoch.get(rank, 0)
             conn.break_by_owner_death((rank, epoch), reason)
+            self._unlink(conn)
         self._joined_epoch.pop(rank, None)
+
+    def _on_node_death(self, node, cause) -> None:
+        """Purge the table entries of every rank that died with ``node``.
+
+        Edges with a surviving endpoint are unlinked when the survivor's
+        disconnect event fires, but an edge between two ranks on the
+        *same* dead node never raises an event on either side -- nobody
+        would drop it until a replacement rejoins, which can be seconds
+        away when spares are exhausted.
+        """
+        if self.job.finished:
+            return
+        for rank, rproc in list(self.job.rank_procs.items()):
+            if rproc.node is not node:
+                continue
+            for conn in list(self._conns.get(rank, ())):
+                if not conn.open:
+                    self._unlink(conn)
+            self._joined_epoch.pop(rank, None)
 
     # -- event handling -----------------------------------------------------------
     def _on_event(self, conn: Connection, key: Any, reason: str) -> None:
         rank, epoch = key
         generation = epoch + 1  # a failure under epoch e leads to epoch e+1
+        # The connection fired a disconnect event, so it is closed:
+        # unlink it even when this endpoint is itself already dead (the
+        # early return below) or the cascade was already run.
+        self._unlink(conn)
         fproc = self.job.rank_procs.get(rank)
         if fproc is None or not fproc.alive:
             return
@@ -113,6 +163,7 @@ class LogRingDetector:
             for other in self._conns.pop(rank, []):
                 if other.open:
                     other.close_from((rank, epoch), reason=f"cascade:{reason}")
+                self._unlink(other)
             sim = self.job.sim
             self.notifications.append((rank, sim.now, generation))
             hop = hops_of_reason(reason)

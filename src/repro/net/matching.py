@@ -55,6 +55,12 @@ class MatchingEngine:
         #: observability counters
         self.delivered = 0
         self.matched_unexpected = 0
+        self.matched_posted = 0
+        #: dead posted receives pruned during delivery scans
+        self.pruned_dead = 0
+        #: lifetime totals across every recovery reset
+        self.cancelled_total = 0
+        self.purged_total = 0
 
     # -- receive side -----------------------------------------------------
     def post(self, source: int, tag: int, comm_id: int) -> Event:
@@ -83,14 +89,20 @@ class MatchingEngine:
     def deliver(self, env: Envelope) -> None:
         """An envelope arrived from the transport."""
         self.delivered += 1
-        for posted in self._posted:
-            if posted.matches(env):
+        for posted in list(self._posted):
+            if not posted.matches(env):
+                continue
+            if posted.event.callbacks is not None and not posted.event.triggered:
                 self._posted.remove(posted)
-                if posted.event.callbacks is not None and not posted.event.triggered:
-                    posted.event.succeed(env)
-                    return
-                # Waiter died; treat as unexpected so data isn't lost.
-                break
+                self.matched_posted += 1
+                posted.event.succeed(env)
+                return
+            # The waiter died (killed process / already-cancelled
+            # event): prune the entry and keep scanning -- a *live*
+            # receive further down the deque may also match, and must
+            # not be shadowed by the corpse.
+            self._posted.remove(posted)
+            self.pruned_dead += 1
         self._unexpected.append(env)
 
     # -- recovery ------------------------------------------------------------
@@ -107,6 +119,8 @@ class MatchingEngine:
                 cancelled += 1
         purged = len(self._unexpected)
         self._unexpected.clear()
+        self.cancelled_total += cancelled
+        self.purged_total += purged
         return cancelled, purged
 
     @property
@@ -116,3 +130,12 @@ class MatchingEngine:
     @property
     def posted_count(self) -> int:
         return len(self._posted)
+
+    @property
+    def pending_posted(self) -> int:
+        """Posted receives still waiting on a live event -- the ones a
+        finished rank must have drained (chaos invariant feed)."""
+        return sum(
+            1 for p in self._posted
+            if p.event.callbacks is not None and not p.event.triggered
+        )

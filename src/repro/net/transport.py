@@ -15,7 +15,7 @@ post-recovery receive.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.machine import Machine
 from repro.cluster.node import Node
@@ -31,14 +31,15 @@ Address = Tuple[int, int]  # (node_id, serial)
 class NetContext:
     """Per-process networking state: address, matching engine, epoch."""
 
-    _serial = 0
-
     def __init__(self, transport: "Transport", node: Node, label: str = ""):
-        NetContext._serial += 1
+        # Serials are per-transport, not per-process: two simulations in
+        # the same interpreter must assign identical addresses/labels or
+        # the byte-identical-replay guarantee breaks.
+        serial = transport._next_serial = transport._next_serial + 1
         self.transport = transport
         self.node = node
-        self.addr: Address = (node.id, NetContext._serial)
-        self.label = label or f"ctx{NetContext._serial}"
+        self.addr: Address = (node.id, serial)
+        self.label = label or f"ctx{serial}"
         self.matching = MatchingEngine(transport.sim)
         #: current recovery epoch; bumped by the FMI runtime on recovery
         self.epoch = 0
@@ -67,6 +68,9 @@ class Transport:
             else sw_overhead
         )
         self._registry: Dict[Address, NetContext] = {}
+        self._next_serial = 0
+        #: every context ever created (chaos invariant sweeps)
+        self.contexts: List[NetContext] = []
         #: envelopes dropped because the destination was gone
         self.dropped_dead = 0
         #: envelopes dropped by the epoch filter
@@ -76,6 +80,7 @@ class Transport:
     def create_context(self, node: Node, label: str = "") -> NetContext:
         ctx = NetContext(self, node, label)
         self._registry[ctx.addr] = ctx
+        self.contexts.append(ctx)
         return ctx
 
     def lookup(self, addr: Address) -> Optional[NetContext]:
@@ -83,6 +88,10 @@ class Transport:
         if ctx is not None and ctx.alive:
             return ctx
         return None
+
+    def context_at(self, addr: Address) -> Optional[NetContext]:
+        """The registered context at ``addr`` regardless of liveness."""
+        return self._registry.get(addr)
 
     # -- data plane ----------------------------------------------------------
     def send(self, src: NetContext, dst_addr: Address, env: Envelope) -> Event:
@@ -127,10 +136,14 @@ class Transport:
                 ctx.matching.deliver(env)
                 outcome = "net.recv"
             if tracer.enabled:
+                # ctx_epoch lets post-hoc checkers re-verify the epoch
+                # filter: a net.recv with env.epoch < ctx_epoch would be
+                # a stale delivery.
+                extra = {} if ctx is None else {"ctx_epoch": ctx.epoch}
                 tracer.instant(
                     outcome, "net", rank=env.dst, node=dst_addr[0],
                     epoch=env.epoch, src=env.src, nbytes=env.nbytes,
-                    tag=env.tag,
+                    tag=env.tag, **extra,
                 )
             if metrics.enabled:
                 metrics.counter(outcome, node=dst_addr[0]).inc()

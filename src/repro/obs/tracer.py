@@ -106,8 +106,27 @@ class Tracer:
         self.sim = sim
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        #: live subscribers invoked on every recorded event (the chaos
+        #: engine's event triggers).  Listeners must not advance the
+        #: simulation or kill processes synchronously -- the event may
+        #: have been emitted from inside the frame they would destroy;
+        #: defer side effects through a zero-delay timeout.
+        self._listeners: List[Any] = []
         if attach:
             sim.tracer = self
+
+    # -- live subscription ----------------------------------------------------
+    def add_listener(self, callback) -> None:
+        """Subscribe ``callback(event)`` to every recorded event."""
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback) -> None:
+        if callback in self._listeners:
+            self._listeners.remove(callback)
+
+    def _notify(self, ev: TraceEvent) -> None:
+        for cb in tuple(self._listeners):
+            cb(ev)
 
     # -- recording -----------------------------------------------------------
     def instant(
@@ -123,11 +142,14 @@ class Tracer:
         """Record a point event at the current sim time."""
         if not self.enabled:
             return
-        self.events.append(TraceEvent(
+        ev = TraceEvent(
             name, cat, PH_INSTANT, self.sim.now,
             rank=rank, node=node, incarnation=incarnation, epoch=epoch,
             args=args,
-        ))
+        )
+        self.events.append(ev)
+        if self._listeners:
+            self._notify(ev)
 
     def complete(
         self,
@@ -144,11 +166,14 @@ class Tracer:
         if not self.enabled:
             return
         now = self.sim.now
-        self.events.append(TraceEvent(
+        ev = TraceEvent(
             name, cat, PH_COMPLETE, start, dur=now - start,
             rank=rank, node=node, incarnation=incarnation, epoch=epoch,
             args=args,
-        ))
+        )
+        self.events.append(ev)
+        if self._listeners:
+            self._notify(ev)
 
     # -- querying ------------------------------------------------------------
     def select(self, cat: Optional[str] = None, name: Optional[str] = None) -> Iterator[TraceEvent]:

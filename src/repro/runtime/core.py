@@ -164,7 +164,18 @@ class JobBase:
     # -- context table ------------------------------------------------------
     def register_endpoint(self, rank: int, ctx: NetContext) -> None:
         """Publish a rank's current transport address (for FMI this is
-        the per-epoch endpoint update of Figure 8)."""
+        the per-epoch endpoint update of Figure 8).
+
+        A replacement incarnation supersedes the dead incarnation's
+        context; close it so in-flight traffic to the stale address is
+        dropped by the transport instead of parking forever in a
+        matching engine nobody will ever read.
+        """
+        old_addr = self.addr_table.get(rank)
+        if old_addr is not None and old_addr != ctx.addr:
+            old_ctx = self.transport.context_at(old_addr)
+            if old_ctx is not None and old_ctx is not ctx:
+                old_ctx.close()
         self.addr_table[rank] = ctx.addr
 
     # -- rank-process factory (stack-specific) -------------------------------

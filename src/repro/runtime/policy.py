@@ -73,11 +73,17 @@ class FailStop(FaultPolicy):
             self.alloc = job.machine.rm.allocate(job.num_nodes)
             nodes = self.alloc.nodes
         if len(nodes) < job.num_nodes:
+            # A failed bind must not keep holding nodes: release any
+            # srun-style allocation before propagating the error.
+            if self.alloc is not None:
+                self.alloc.release()
+                self.alloc = None
             raise ValueError("not enough nodes for the requested ranks")
         self.nodes = nodes[: job.num_nodes]
         job.nodes = self.nodes
         if self.alloc is not None:
-            job.done.callbacks.append(lambda _e: self.alloc.release())
+            alloc = self.alloc  # bind the object: self.alloc may be reset
+            job.done.callbacks.append(lambda _e: alloc.release())
 
     def node_of_rank(self, rank: int) -> Node:
         return self.nodes[self.job.slot_of_rank(rank)]

@@ -1,0 +1,248 @@
+"""The chaos campaign subsystem: DSL, event triggers, invariants, soak.
+
+The heavyweight end-to-end coverage lives in the campaign runs (one
+seed per canned campaign, each a full traced FMI job under injected
+failures); the rest are unit tests of the trigger/action machinery and
+of the invariant checkers against synthetic violations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CAMPAIGNS,
+    AtTime,
+    ChaosEngine,
+    DrainSlot,
+    KillRank,
+    KillSlot,
+    OnEvent,
+    RandomTimes,
+    Rule,
+    Scenario,
+    check_answer,
+    check_epoch_monotone,
+    check_no_stale_delivery,
+    run_campaign,
+)
+from repro.cluster.failures import EventInjector
+from repro.obs import Tracer
+from repro.simt import Simulator
+
+
+# ------------------------------------------------------------ EventInjector
+def test_event_injector_requires_enabled_tracer():
+    sim = Simulator()  # NULL_TRACER: nothing to trigger on
+    injector = EventInjector(sim, lambda ev: True, lambda: None)
+    with pytest.raises(RuntimeError, match="Tracer"):
+        injector.start()
+
+
+def test_event_injector_validates_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        EventInjector(sim, lambda ev: True, lambda: None, count=0)
+    with pytest.raises(ValueError):
+        EventInjector(sim, lambda ev: True, lambda: None, delay=-1.0)
+
+
+def test_event_injector_fires_on_nth_match_after_delay():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    fired = []
+    injector = EventInjector(
+        sim, lambda ev: ev.name == "tick", lambda: fired.append(sim.now),
+        count=3, delay=0.5,
+    )
+    injector.start()
+
+    def emitter():
+        for i in range(5):
+            yield sim.timeout(1.0)
+            tracer.instant("tick", "test", args={"i": i})
+            tracer.instant("noise", "test")
+
+    sim.spawn(emitter())
+    sim.run()
+    # 3rd tick at t=3.0, +0.5 delay.
+    assert fired == [pytest.approx(3.5)]
+    assert injector.seen == 3
+    assert injector.fired_at == pytest.approx(3.5)
+
+
+def test_event_injector_stop_disarms():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    fired = []
+    injector = EventInjector(sim, lambda ev: True, lambda: fired.append(1))
+    injector.start()
+    injector.stop()
+    tracer.instant("anything", "test")
+    sim.run()
+    assert fired == []
+
+
+# ----------------------------------------------------------------- the DSL
+def _tiny_job(seed=0):
+    from repro.chaos.runner import _build_job
+
+    return _build_job(CAMPAIGNS["mid-checkpoint-kill"], seed)
+
+
+def test_attime_kills_the_slots_current_node():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [Rule(AtTime(2.0), KillSlot(1))]))
+    sim.run(until=done)
+    assert len(engine.injected) == 1
+    t, desc = engine.injected[0]
+    assert t == pytest.approx(2.0)
+    assert desc.startswith("kill slot 1")
+    assert job.epoch >= 1 and job.finished
+
+
+def test_onevent_trigger_lands_at_marker():
+    sim, machine, job = _tiny_job()
+    tracer = Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(OnEvent("ckpt.encode.begin", count=1), KillSlot(0)),
+    ]))
+    sim.run(until=done)
+    engine.disarm()
+    first_encode = next(
+        ev.ts for ev in tracer.events if ev.name == "ckpt.encode.begin"
+    )
+    assert len(engine.injected) == 1
+    assert engine.injected[0][0] == pytest.approx(first_encode)
+    assert job.finished
+
+
+def test_randomtimes_schedule_is_seed_deterministic():
+    def schedule(seed):
+        sim, machine, job = _tiny_job(seed)
+        Tracer(sim)
+        rng = machine.rng.stream("chaos")
+        engine = ChaosEngine(job, rng)
+        done = job.launch()
+        engine.arm(Scenario("t", [
+            Rule(RandomTimes(k=2, mean_spacing=1.0, start=1.0), KillRank(5)),
+        ]))
+        sim.run(until=done)
+        return engine.injected
+
+    assert schedule(7) == schedule(7)
+    assert schedule(7) != schedule(8)
+
+
+def test_dead_slot_kill_is_recorded_as_noop():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(AtTime(2.0), KillSlot(0)),
+        Rule(AtTime(2.0), KillSlot(0)),  # same instant: second is a no-op
+    ]))
+    sim.run(until=done)
+    descs = [d for _t, d in engine.injected]
+    assert descs[0].startswith("kill slot 0 (node")
+    assert descs[1] == "kill slot 0: already dead"
+    assert job.finished
+
+
+def test_drain_refusal_is_recorded():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(AtTime(1.0), KillSlot(2)),
+        Rule(AtTime(1.0), DrainSlot(2)),  # draining a dead slot: refused
+    ]))
+    sim.run(until=done)
+    descs = [d for _t, d in engine.injected]
+    assert any(d.startswith("drain slot 2: refused") for d in descs)
+    assert job.finished
+
+
+# ------------------------------------------------------- invariant checkers
+class _FakeEvent:
+    def __init__(self, name, rank=0, epoch=0, incarnation=0, ts=0.0, args=()):
+        self.name = name
+        self.rank = rank
+        self.epoch = epoch
+        self.incarnation = incarnation
+        self.ts = ts
+        self.args = dict(args)
+
+
+class _FakeTracer:
+    def __init__(self, events):
+        self.events = events
+
+
+def test_epoch_monotone_catches_backwards_epoch():
+    tracer = _FakeTracer([
+        _FakeEvent("fmi.state", rank=1, epoch=2, ts=1.0),
+        _FakeEvent("fmi.state", rank=1, epoch=1, ts=2.0),
+    ])
+    violations = check_epoch_monotone(tracer)
+    assert len(violations) == 1
+    assert "went 2 -> 1" in violations[0].detail
+
+
+def test_epoch_monotone_accepts_increasing():
+    tracer = _FakeTracer([
+        _FakeEvent("fmi.state", rank=1, epoch=0),
+        _FakeEvent("fmi.state", rank=1, epoch=0),
+        _FakeEvent("fmi.state", rank=1, epoch=2),
+    ])
+    assert check_epoch_monotone(tracer) == []
+
+
+def test_stale_delivery_checker():
+    ok = _FakeEvent("net.recv", epoch=3, args={"ctx_epoch": 3})
+    bad = _FakeEvent("net.recv", epoch=1, args={"ctx_epoch": 3})
+    assert check_no_stale_delivery(_FakeTracer([ok])) == []
+    violations = check_no_stale_delivery(_FakeTracer([ok, bad]))
+    assert len(violations) == 1
+    assert "epoch-1" in violations[0].detail
+
+
+def test_answer_checker_is_bit_exact():
+    ref = [np.arange(4.0), np.ones(4)]
+    assert check_answer([ref[0].copy(), ref[1].copy()], ref) == []
+    off = [ref[0].copy(), ref[1] + 1e-12]
+    assert len(check_answer(off, ref)) == 1
+    assert len(check_answer([ref[0]], ref)) == 1  # length mismatch
+
+
+# -------------------------------------------------------------- end to end
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_survives_and_is_green(name):
+    result = run_campaign(name, seed=1)
+    assert result.violations == []
+    assert result.trace_events > 0
+
+
+def test_campaign_replay_is_deterministic():
+    a = run_campaign("kill-during-recovery", seed=3, keep_trace=True)
+    b = run_campaign("kill-during-recovery", seed=3, keep_trace=True)
+    assert a.injected == b.injected
+    assert a.sim_time == b.sim_time
+    assert a.trace_events == b.trace_events
+    assert [ev.name for ev in a.tracer.events] == [
+        ev.name for ev in b.tracer.events
+    ]
+    assert [ev.ts for ev in a.tracer.events] == [
+        ev.ts for ev in b.tracer.events
+    ]
+
+
+def test_unknown_campaign_rejected():
+    with pytest.raises(KeyError, match="unknown campaign"):
+        run_campaign("no-such-campaign", seed=0)

@@ -96,6 +96,49 @@ def test_process_death_without_node_death_detected():
     assert job.rank_procs[4].incarnation == 1  # sibling on the same node
 
 
+def _closed_conns(detector):
+    return [
+        (rank, conn)
+        for rank, conns in detector._conns.items()
+        for conn in conns
+        if not conn.open
+    ]
+
+
+def test_detector_join_unlinks_old_edges_from_peers():
+    # Regression: teardown paths (join/leave/process_died) popped the
+    # acting rank's *own* list but left the closed Connection objects
+    # in every peer's list until the peer happened to rejoin, so the
+    # table carried corpses for the whole detection/recovery window.
+    sim, machine, job = launch_idle()
+    sim.run(until=2.0)
+    det = job.detector
+    old = list(det._conns[0])
+    assert old  # rank 0 is wired into the epoch-0 overlay
+    det.join(job.rank_procs[0], epoch=1)  # rejoins ahead of everyone
+    for conn in old:
+        assert not conn.open
+        for conns in det._conns.values():
+            assert conn not in conns
+
+
+def test_detector_prunes_closed_conns_after_node_death():
+    # Edges between two ranks on the same dead node never raise a
+    # disconnect event on either side; the node-death purge must drop
+    # them without waiting for the replacement to rejoin.
+    sim, machine, job = launch_idle()
+    sim.run(until=2.0)
+    job.fmirun.node_slots[2].crash("prune-test")
+    sim.run(until=2.3)  # past the ibverbs close delay, recovery underway
+    dead_ranks = set(job.ranks_of_slot(2))
+    stale = [(r, c) for r, c in _closed_conns(job.detector)
+             if r in dead_ranks]
+    assert stale == []
+    sim.run(until=6.0)
+    assert job.epoch == 1
+    assert _closed_conns(job.detector) == []
+
+
 # ------------------------------------------------------------ interval policy
 def test_policy_first_call_always_checkpoints():
     p = IntervalPolicy(Cfg(interval=5, xor_group_size=2))

@@ -133,3 +133,38 @@ def test_delivery_counter():
     eng.deliver(env())
     eng.deliver(env())
     assert eng.delivered == 2
+
+
+def test_dead_waiter_does_not_shadow_live_receive():
+    # Regression: a posted receive whose waiter died (killed process /
+    # externally-failed event) used to stop the delivery scan, starving
+    # a matching live receive further down the deque.
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    dead = eng.post(source=0, tag=4, comm_id=0)
+    live = eng.post(source=0, tag=4, comm_id=0)
+    dead.fail(RecvCancelled())  # the waiter is gone
+    drain(sim)
+    eng.deliver(env(src=0, tag=4, data="for-the-living"))
+    drain(sim)
+    assert live.value.data == "for-the-living"
+    assert eng.unexpected_count == 0
+    assert eng.pruned_dead == 1
+    assert eng.posted_count == 0
+
+
+def test_dead_waiter_pruned_even_without_live_match():
+    sim = Simulator()
+    eng = MatchingEngine(sim)
+    dead = eng.post(source=0, tag=4, comm_id=0)
+    dead.fail(RecvCancelled())
+    drain(sim)
+    eng.deliver(env(src=0, tag=4, data="orphan"))
+    # No live receive: the data lands in the unexpected queue (not
+    # lost), and the corpse is gone.
+    assert eng.unexpected_count == 1
+    assert eng.pruned_dead == 1
+    assert eng.posted_count == 0
+    late = eng.post(source=0, tag=4, comm_id=0)
+    drain(sim)
+    assert late.value.data == "orphan"

@@ -112,6 +112,21 @@ def test_pingpong_roundtrip_latency():
     assert one_way == pytest.approx(3.573e-6, rel=0.02)
 
 
+def test_context_serials_are_per_transport():
+    # Regression: serials lived on the NetContext *class*, so a second
+    # simulation in the same interpreter saw different addresses and
+    # labels for the same build sequence -- breaking the byte-identical
+    # replay guarantee.
+    def build():
+        sim, m, tp = setup()
+        return [tp.create_context(m.node(i % 2)) for i in range(3)]
+
+    first = build()
+    second = build()
+    assert [c.addr for c in first] == [c.addr for c in second]
+    assert [c.label for c in first] == [c.label for c in second]
+
+
 # ----------------------------------------------------------------- connections
 def test_node_death_raises_disconnect_after_ibverbs_delay():
     sim, m, tp = setup()

@@ -105,6 +105,29 @@ def test_geometry_validation_shared():
         MpiJob(machine, lambda api: iter(()), nprocs=5, procs_per_node=2)
 
 
+def test_failstop_failed_bind_releases_allocation():
+    # Regression: when bind raised "not enough nodes" while an
+    # srun-style allocation was held, the nodes were never returned to
+    # the resource manager.
+    sim, machine = make(num_nodes=6)
+    idle0 = machine.rm.idle_count
+
+    def app(mpi):
+        yield mpi.elapse(0.1)
+
+    policy = FailStop(charge_init=False)
+    JobBase(machine, app, num_ranks=4, procs_per_node=2, policy=policy,
+            name="a")
+    assert machine.rm.idle_count == idle0 - 2
+    # Re-binding the (single-use) policy to a bigger job fails while the
+    # first bind's allocation is still held; the error path must give
+    # those nodes back instead of leaking them.
+    with pytest.raises(ValueError, match="not enough nodes"):
+        JobBase(machine, app, num_ranks=8, procs_per_node=1,
+                policy=policy, name="b")
+    assert machine.rm.idle_count == idle0
+
+
 # -------------------------------------------------------- drain error paths
 def test_drain_finished_job_rejected():
     sim, machine = make()
