@@ -1,0 +1,146 @@
+"""Machine-readable benchmark results: the perf trajectory.
+
+Every bench can emit a ``BENCH_<id>.json`` record through
+:func:`emit`.  The committed records under ``benchmarks/results/``
+form the repo's perf baseline trajectory: one record per PR that
+touched the engine, so a regression shows up as a diff against a
+number somebody signed off on.
+
+Record shape::
+
+    {
+      "bench_id": "5",
+      "scenario": "engine_throughput",
+      "scale": "quick",
+      "entries": [
+        {"procs": 384, "wall_clock_s": ..., "simulated_s": ...,
+         "events": ..., "events_per_sec": ..., "msgs_per_sec": ..., ...},
+        ...
+      ]
+    }
+
+The module is also the regression checker the perf-smoke CI job runs::
+
+    python benchmarks/_results.py check BENCH_ci.json \
+        --baseline benchmarks/results/BENCH_5.json --max-drop 0.30
+
+Entries are joined on ``(scenario, procs)``; the check fails if
+``events_per_sec`` of any joined entry dropped more than ``max-drop``
+below the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: id for freshly emitted records; committed baselines use the PR number
+BENCH_ID = os.environ.get("REPRO_BENCH_ID", "local")
+
+
+def emit(
+    scenario: str,
+    scale: str,
+    entries: List[Dict[str, Any]],
+    bench_id: Optional[str] = None,
+    out_dir: Optional[str] = None,
+) -> str:
+    """Write one ``BENCH_<id>.json`` record; returns its path.
+
+    ``entries`` is a list of per-measurement dicts; each should carry
+    at least ``procs``, ``wall_clock_s``, ``simulated_s`` and
+    ``events_per_sec`` so the trajectory stays comparable across PRs.
+    """
+    bench_id = BENCH_ID if bench_id is None else bench_id
+    out_dir = RESULTS_DIR if out_dir is None else out_dir
+    os.makedirs(out_dir, exist_ok=True)
+    record = {
+        "bench_id": bench_id,
+        "scenario": scenario,
+        "scale": scale,
+        "entries": entries,
+    }
+    path = os.path.join(out_dir, f"BENCH_{bench_id}.json")
+    existing: List[Dict[str, Any]] = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            loaded = json.load(fh)
+        existing = loaded if isinstance(loaded, list) else [loaded]
+        existing = [
+            rec for rec in existing
+            if not (rec.get("scenario") == scenario and rec.get("scale") == scale)
+        ]
+    existing.append(record)
+    with open(path, "w") as fh:
+        json.dump(existing, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _load(path: str) -> List[Dict[str, Any]]:
+    with open(path) as fh:
+        loaded = json.load(fh)
+    return loaded if isinstance(loaded, list) else [loaded]
+
+
+def _index(records: List[Dict[str, Any]]) -> Dict[Any, Dict[str, Any]]:
+    out: Dict[Any, Dict[str, Any]] = {}
+    for rec in records:
+        for entry in rec.get("entries", []):
+            out[(rec.get("scenario"), entry.get("procs"))] = entry
+    return out
+
+
+def check(new_path: str, baseline_path: str, max_drop: float,
+          metric: str = "events_per_sec") -> int:
+    """Compare ``metric`` entry-by-entry; returns a process exit code."""
+    new = _index(_load(new_path))
+    base = _index(_load(baseline_path))
+    joined = sorted(set(new) & set(base), key=repr)
+    if not joined:
+        print(f"perf-check: no comparable entries between {new_path} "
+              f"and {baseline_path}", file=sys.stderr)
+        return 2
+    failures = 0
+    for key in joined:
+        scenario, procs = key
+        got = new[key].get(metric)
+        want = base[key].get(metric)
+        if not got or not want:
+            continue
+        ratio = got / want
+        verdict = "ok"
+        if ratio < 1.0 - max_drop:
+            verdict = "REGRESSION"
+            failures += 1
+        print(f"perf-check: {scenario} procs={procs}: {metric} "
+              f"{got:,.0f} vs baseline {want:,.0f} "
+              f"({ratio:.2f}x) {verdict}")
+    if failures:
+        print(f"perf-check: {failures} entr{'y' if failures == 1 else 'ies'} "
+              f"dropped more than {max_drop:.0%} below baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    chk = sub.add_parser("check", help="compare a record against a baseline")
+    chk.add_argument("new", help="freshly emitted BENCH_*.json")
+    chk.add_argument("--baseline", required=True)
+    chk.add_argument("--max-drop", type=float, default=0.30,
+                     help="allowed fractional drop (default 0.30)")
+    chk.add_argument("--metric", default="events_per_sec")
+    args = parser.parse_args(argv)
+    return check(args.new, args.baseline, args.max_drop, args.metric)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

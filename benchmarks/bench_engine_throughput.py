@@ -1,0 +1,202 @@
+"""Engine throughput microbench: the simulator's own speed.
+
+Unlike the ``bench_fig*`` benches (which reproduce paper results),
+this bench measures the *reproduction engine itself*: how many kernel
+events, simulated messages and matcher operations per wall-clock
+second the hot path sustains at each process count.  It emits the
+machine-readable ``BENCH_<id>.json`` record (see ``_results.py``) that
+the perf-smoke CI job compares against the committed baseline.
+
+Two scenarios:
+
+* ``engine_throughput`` -- an end-to-end :class:`MpiJob` running a
+  collective- and halo-heavy synthetic app at 48..1,536 processes
+  (scale-dependent), measuring events/sec and messages/sec through the
+  full kernel + matching + transport + collectives stack.
+* ``matcher_ops`` -- the matching engine driven directly with an
+  incast-shaped post/deliver stream whose queue depth grows with the
+  process count.  Runs both the indexed engine and the pre-refactor
+  linear :class:`ReferenceMatchingEngine` and asserts the indexed
+  engine moves messages at >=2x the reference rate at the 384-proc
+  point (the refactor's headline claim).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from _harness import PROC_COUNTS, PROCS_PER_NODE, SCALE, make_machine
+from _results import emit
+from repro.analysis.tables import Table
+from repro.mpi.runtime import MpiJob
+from repro.net.matching import ANY_SOURCE, MatchingEngine
+from repro.net.matching_reference import ReferenceMatchingEngine
+from repro.net.message import Envelope
+from repro.simt import Simulator
+
+#: BSP rounds for the end-to-end scenario (kept small: the sweep covers
+#: every scale point and the paper benches do the long runs)
+ROUNDS = 6
+HALO_BYTES = 1024.0
+
+#: target messages per matcher measurement; rounds shrink as the incast
+#: widens so every point does comparable total work
+_MATCHER_TARGET_MSGS = 49_152
+_REFERENCE_TARGET_MSGS = 12_288
+
+
+# ---------------------------------------------------------------- engine
+def _engine_app(rounds: int, msg_totals: Dict[int, int]):
+    def app(api):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        total = 0
+        for _ in range(rounds):
+            total += yield from api.allreduce(1, nbytes=8.0)
+            total += yield from api.sendrecv(
+                right, api.rank, source=left, nbytes=HALO_BYTES, tag=7
+            )
+        msg_totals[api.rank] = api.msgs_sent
+        return total
+
+    return app
+
+
+def measure_engine(nprocs: int) -> Dict[str, float]:
+    sim, machine = make_machine(nprocs // PROCS_PER_NODE, seed=nprocs)
+    msg_totals: Dict[int, int] = {}
+    job = MpiJob(machine, _engine_app(ROUNDS, msg_totals), nprocs,
+                 procs_per_node=PROCS_PER_NODE, charge_init=False)
+    t0 = time.perf_counter()
+    sim.run(until=job.launch())
+    wall = time.perf_counter() - t0
+    events = sim.stats.events_processed
+    msgs = sum(msg_totals.values())
+    return {
+        "procs": nprocs,
+        "wall_clock_s": wall,
+        "simulated_s": sim.now,
+        "events": events,
+        "peak_heap": sim.stats.peak_heap,
+        "events_per_sec": events / wall,
+        "msgs": msgs,
+        "msgs_per_sec": msgs / wall,
+    }
+
+
+# --------------------------------------------------------------- matcher
+def drive_matcher(engine_cls, nsrc: int, target_msgs: int) -> Dict[str, float]:
+    """Incast stream: ``nsrc`` senders into one matching engine.
+
+    Even rounds post first (posted queue fills to ``nsrc``, deliveries
+    arrive in reverse source order -- the linear engine's worst case);
+    odd rounds deliver first and drain through wildcard receives (the
+    unexpected queue's worst case).  Queue depth scales with the
+    process count, which is exactly what the linear scans are
+    quadratic in.
+    """
+    rounds = max(2, target_msgs // nsrc)
+    sim = Simulator()
+    eng = engine_cls(sim)
+    delivered = 0
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        tag = r % 3
+        if r % 2 == 0:
+            recvs = [eng.post(src, tag, 0) for src in range(nsrc)]
+            for src in range(nsrc - 1, -1, -1):
+                eng.deliver(Envelope(src, 0, tag, 0, 0, 8.0))
+        else:
+            for src in range(nsrc):
+                eng.deliver(Envelope(src, 0, tag, 0, 0, 8.0))
+            recvs = [eng.post(ANY_SOURCE, tag, 0) for _ in range(nsrc)]
+        delivered += nsrc
+        sim.run()
+        assert all(evt.processed for evt in recvs)
+    wall = time.perf_counter() - t0
+    assert eng.matched_posted + eng.matched_unexpected == delivered
+    assert eng.unexpected_count == 0 and eng.pending_posted == 0
+    ops = delivered * 2  # one post + one deliver per message
+    return {
+        "wall_clock_s": wall,
+        "msgs": delivered,
+        "msgs_per_sec": delivered / wall,
+        "match_ops_per_sec": ops / wall,
+        "events_per_sec": sim.stats.events_processed / wall,
+    }
+
+
+def measure_matcher(nprocs: int) -> Dict[str, float]:
+    indexed = drive_matcher(MatchingEngine, nprocs, _MATCHER_TARGET_MSGS)
+    reference = drive_matcher(ReferenceMatchingEngine, nprocs,
+                              _REFERENCE_TARGET_MSGS)
+    entry = {"procs": nprocs}
+    entry.update(indexed)
+    entry["reference_msgs_per_sec"] = reference["msgs_per_sec"]
+    entry["speedup_vs_reference"] = (
+        indexed["msgs_per_sec"] / reference["msgs_per_sec"]
+    )
+    return entry
+
+
+# ----------------------------------------------------------------- tests
+def test_engine_throughput(benchmark):
+    measure_engine(PROC_COUNTS[0])  # warm the stack: the first point's
+    # 40 ms measurement must not pay import/alloc warm-up costs
+    out: List[Dict[str, float]] = benchmark.pedantic(
+        lambda: [measure_engine(n) for n in PROC_COUNTS],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        f"Engine throughput ({SCALE}): {ROUNDS} rounds of allreduce + halo",
+        ["Procs", "wall s", "sim s", "events", "events/s", "msgs/s",
+         "peak heap"],
+    )
+    for e in out:
+        table.add(e["procs"], round(e["wall_clock_s"], 2),
+                  round(e["simulated_s"], 4), int(e["events"]),
+                  int(e["events_per_sec"]), int(e["msgs_per_sec"]),
+                  int(e["peak_heap"]))
+    table.show()
+    path = emit("engine_throughput", SCALE, out)
+    print(f"wrote {path}")
+    # The engine must not collapse superlinearly: events/sec at the
+    # largest point stays within 8x of the smallest point's rate (a
+    # pure O(n) matcher would blow far past that at 384+).
+    rates = {e["procs"]: e["events_per_sec"] for e in out}
+    assert rates[PROC_COUNTS[-1]] > rates[PROC_COUNTS[0]] / 8.0
+
+
+def test_matcher_ops(benchmark):
+    out: List[Dict[str, float]] = benchmark.pedantic(
+        lambda: [measure_matcher(n) for n in PROC_COUNTS],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        f"Matcher ops ({SCALE}): incast depth = procs, indexed vs linear",
+        ["Procs", "msgs/s (indexed)", "msgs/s (linear)", "speedup",
+         "match ops/s"],
+    )
+    for e in out:
+        table.add(e["procs"], int(e["msgs_per_sec"]),
+                  int(e["reference_msgs_per_sec"]),
+                  round(e["speedup_vs_reference"], 1),
+                  int(e["match_ops_per_sec"]))
+    table.show()
+    path = emit("matcher_ops", SCALE, out)
+    print(f"wrote {path}")
+    # Headline acceptance: >=2x messages/sec over the pre-refactor
+    # engine at the 384-proc point (and beyond, where the gap widens).
+    for e in out:
+        if e["procs"] >= 384:
+            assert e["speedup_vs_reference"] >= 2.0, (
+                f"indexed matcher only {e['speedup_vs_reference']:.2f}x "
+                f"the linear engine at {e['procs']} procs"
+            )
+    # The indexed engine's rate must stay roughly flat as the incast
+    # deepens (that is the point of the index).
+    rates = {e["procs"]: e["msgs_per_sec"] for e in out}
+    assert rates[PROC_COUNTS[-1]] > rates[PROC_COUNTS[0]] / 4.0

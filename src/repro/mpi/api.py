@@ -116,7 +116,7 @@ class ParallelApi:
         )
         self.bytes_sent += size
         self.msgs_sent += 1
-        return self.transport.send(self.ctx, self._route(comm.translate(dst)), env)
+        return self.transport.send(self.ctx, self._route(comm.members[dst]), env)
 
     def _post_recv(self, comm: Communicator, source: int, tag: int):
         self._check_ok()

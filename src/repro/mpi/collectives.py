@@ -149,11 +149,15 @@ def allreduce(comm, value: Any, op: Callable = SUM, nbytes: Optional[float] = No
         def realrank(nr: int) -> int:
             return nr * 2 + 1 if nr < rem else nr + rem
 
+        # Hot loop: hoist the bound methods so each hop pays two local
+        # calls instead of repeated attribute walks through the comm.
+        post_recv = comm.post_recv
+        send_async = comm.send_async
         mask = 1
         while mask < pof2:
             partner = realrank(newrank ^ mask)
-            recv_evt = comm.post_recv(partner, TAG_ALLREDUCE)
-            yield comm.send_async(partner, acc, nbytes, TAG_ALLREDUCE)
+            recv_evt = post_recv(partner, TAG_ALLREDUCE)
+            yield send_async(partner, acc, nbytes, TAG_ALLREDUCE)
             env = yield recv_evt
             acc = op(acc, env.data)
             mask <<= 1
@@ -173,12 +177,14 @@ def barrier(comm):
     size, rank = comm.size, comm.rank
     if size == 1:
         return
+    post_recv = comm.post_recv
+    send_async = comm.send_async
     mask = 1
     while mask < size:
         dst = (rank + mask) % size
         src = (rank - mask) % size
-        recv_evt = comm.post_recv(src, TAG_BARRIER)
-        yield comm.send_async(dst, None, _TINY, TAG_BARRIER)
+        recv_evt = post_recv(src, TAG_BARRIER)
+        yield send_async(dst, None, _TINY, TAG_BARRIER)
         yield recv_evt
         mask <<= 1
 
@@ -216,9 +222,11 @@ def allgather(comm, value: Any, nbytes: Optional[float] = None):
     right = (rank + 1) % size
     left = (rank - 1) % size
     send_block = rank
+    post_recv = comm.post_recv
+    send_async = comm.send_async
     for _step in range(size - 1):
-        recv_evt = comm.post_recv(left, TAG_ALLGATHER)
-        yield comm.send_async(right, (send_block, blocks[send_block]), nbytes, TAG_ALLGATHER)
+        recv_evt = post_recv(left, TAG_ALLGATHER)
+        yield send_async(right, (send_block, blocks[send_block]), nbytes, TAG_ALLGATHER)
         env = yield recv_evt
         idx, blk = env.data
         blocks[idx] = blk
@@ -267,8 +275,9 @@ def allreduce_hier(comm, value: Any, op: Callable = SUM,
     if rank != leader:
         yield comm.send_async(leader, acc, nbytes, TAG_HIER_UP)
     else:
+        post_recv = comm.post_recv
         for _ in range(P - 1):
-            env = yield comm.post_recv(-1, TAG_HIER_UP)  # ANY_SOURCE
+            env = yield post_recv(-1, TAG_HIER_UP)  # ANY_SOURCE
             acc = op(acc, env.data)
         # Inter-node recursive doubling among the leaders.
         leaders = list(range(0, size, P))
@@ -323,11 +332,13 @@ def alltoall(comm, values: List[Any], nbytes: Optional[float] = None):
     per = _nbytes(values[0], nbytes)
     result: List[Any] = [None] * size
     result[rank] = values[rank]
+    post_recv = comm.post_recv
+    send_async = comm.send_async
     for step in range(1, size):
         dst = (rank + step) % size
         src = (rank - step) % size
-        recv_evt = comm.post_recv(src, TAG_ALLTOALL)
-        yield comm.send_async(dst, values[dst], per, TAG_ALLTOALL)
+        recv_evt = post_recv(src, TAG_ALLTOALL)
+        yield send_async(dst, values[dst], per, TAG_ALLTOALL)
         env = yield recv_evt
         result[src] = env.data
     return result

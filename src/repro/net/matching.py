@@ -8,20 +8,67 @@ Unmatched arrivals wait in the unexpected-message queue.
 On FMI recovery the engine is :meth:`reset`: posted receives are
 cancelled (their events fail with :class:`RecvCancelled`) and
 unexpected messages from the old epoch are purged.
+
+Index layout (the hot-path rewrite)
+-----------------------------------
+
+Both queues are hash-bucket indexes keyed on ``(comm_id, source,
+tag)``; wildcard patterns use :data:`ANY_SOURCE` / :data:`ANY_TAG` in
+the key, so wildcard receives live in *side-lists* next to the exact
+buckets:
+
+* **posted receives** -- each posted receive sits in exactly one
+  bucket: its own pattern.  A delivery consults at most four buckets
+  (exact, source-wildcard, tag-wildcard, both-wildcard) and takes the
+  live head with the smallest post sequence number -- byte-identical
+  match order to a linear scan of a single deque, at O(1) per message
+  instead of O(posted).
+* **unexpected messages** -- each arrival is appended to all four
+  buckets it could be claimed under.  A posted receive consults
+  exactly one bucket: its own pattern.  Claiming an envelope marks it
+  *taken*; the stale aliases in sibling buckets are skipped (and
+  popped) when they surface at a bucket head.
+
+Dead entries -- posted receives whose waiter died (killed process,
+:meth:`~repro.simt.kernel.Event.cancel`, an externally failed event)
+and taken unexpected aliases -- are swept lazily: they are popped when
+they reach a bucket head during matching, and a full compaction runs
+once enough cancellations/claims have accumulated (cancelled events
+report in through the kernel's cancellation hook).  The compaction
+only drops dead entries, so it can never change match order.
+
+The pre-refactor linear engine survives as
+:class:`repro.net.matching_reference.ReferenceMatchingEngine`: it is
+the conformance oracle for the property tests and the baseline the
+engine-throughput benchmark measures speedups against.  Set
+``REPRO_MATCHING=reference`` to run any simulation on it.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
 from repro.net.message import Envelope
 from repro.simt.kernel import Event, Simulator
 
-__all__ = ["MatchingEngine", "ANY_SOURCE", "ANY_TAG", "RecvCancelled"]
+__all__ = [
+    "MatchingEngine",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RecvCancelled",
+    "make_engine",
+    "set_engine_factory",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: full compactions run once this many dead/taken entries accumulated
+_SWEEP_THRESHOLD = 64
+
+_BucketKey = Tuple[int, int, int]  # (comm_id, source, tag)
 
 
 class RecvCancelled(Exception):
@@ -29,13 +76,20 @@ class RecvCancelled(Exception):
 
 
 class _PostedRecv:
-    __slots__ = ("source", "tag", "comm_id", "event")
+    __slots__ = ("source", "tag", "comm_id", "event", "seq")
 
-    def __init__(self, source: int, tag: int, comm_id: int, event: Event):
+    def __init__(self, source: int, tag: int, comm_id: int, event: Event,
+                 seq: int):
         self.source = source
         self.tag = tag
         self.comm_id = comm_id
         self.event = event
+        self.seq = seq
+
+    @property
+    def live(self) -> bool:
+        evt = self.event
+        return evt.callbacks is not None and not evt.triggered
 
     def matches(self, env: Envelope) -> bool:
         return (
@@ -45,19 +99,40 @@ class _PostedRecv:
         )
 
 
+class _Unexpected:
+    """One arrived envelope, shared between its four index buckets."""
+
+    __slots__ = ("env", "taken")
+
+    def __init__(self, env: Envelope):
+        self.env = env
+        self.taken = False
+
+
 class MatchingEngine:
     """Per-process matching state: posted receives + unexpected queue."""
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._posted: Deque[_PostedRecv] = deque()
-        self._unexpected: Deque[Envelope] = deque()
+        self._posted: Dict[_BucketKey, Deque[_PostedRecv]] = {}
+        self._post_seq = 0
+        self._unexpected: Dict[_BucketKey, Deque[_Unexpected]] = {}
+        self._unexpected_live = 0
+        #: dead/taken entries accumulated since the last compaction;
+        #: a compaction runs when the debt reaches ``_sweep_at``, which
+        #: is re-armed to the surviving entry count so sweeps stay
+        #: amortised O(1) per operation at any queue depth
+        self._sweep_debt = 0
+        self._sweep_at = _SWEEP_THRESHOLD
+        self._on_cancel = self._note_cancel  # bind once, not per post
         #: observability counters
         self.delivered = 0
         self.matched_unexpected = 0
         self.matched_posted = 0
-        #: dead posted receives pruned during delivery scans
+        #: dead posted receives pruned during delivery matching
         self.pruned_dead = 0
+        #: dead/taken entries removed by background compactions
+        self.swept_dead = 0
         #: lifetime totals across every recovery reset
         self.cancelled_total = 0
         self.purged_total = 0
@@ -66,44 +141,95 @@ class MatchingEngine:
     def post(self, source: int, tag: int, comm_id: int) -> Event:
         """Post a receive; the event fires with the matching Envelope."""
         evt = Event(self.sim)
-        # First look in the unexpected queue (oldest first: FIFO).
-        for env in self._unexpected:
-            probe = _PostedRecv(source, tag, comm_id, evt)
-            if probe.matches(env):
-                self._unexpected.remove(env)
+        # First look in the unexpected queue (oldest first: FIFO).  A
+        # post consults exactly one bucket -- its own pattern -- so no
+        # probe object and no scan are needed.
+        key = (comm_id, source, tag)
+        dq = self._unexpected.get(key)
+        if dq is not None:
+            while dq and dq[0].taken:
+                dq.popleft()
+            if dq:
+                rec = dq.popleft()
+                rec.taken = True
+                self._unexpected_live -= 1
+                self._note_debt()
                 self.matched_unexpected += 1
-                evt.succeed(env)
+                evt.succeed(rec.env)
                 return evt
-        self._posted.append(_PostedRecv(source, tag, comm_id, evt))
+            del self._unexpected[key]
+        rec = _PostedRecv(source, tag, comm_id, evt, self._post_seq)
+        self._post_seq += 1
+        bucket = self._posted.get(key)
+        if bucket is None:
+            bucket = self._posted[key] = deque()
+        bucket.append(rec)
+        evt._cancel_cb = self._on_cancel
         return evt
 
     def probe(self, source: int, tag: int, comm_id: int) -> Optional[Envelope]:
         """Non-destructive check of the unexpected queue (MPI_Iprobe)."""
-        probe = _PostedRecv(source, tag, comm_id, Event(self.sim))
-        for env in self._unexpected:
-            if probe.matches(env):
-                return env
-        return None
+        dq = self._unexpected.get((comm_id, source, tag))
+        if dq is None:
+            return None
+        while dq and dq[0].taken:
+            dq.popleft()
+        if not dq:
+            del self._unexpected[(comm_id, source, tag)]
+            return None
+        return dq[0].env
 
     # -- delivery side ------------------------------------------------------
     def deliver(self, env: Envelope) -> None:
         """An envelope arrived from the transport."""
         self.delivered += 1
-        for posted in list(self._posted):
-            if not posted.matches(env):
-                continue
-            if posted.event.callbacks is not None and not posted.event.triggered:
-                self._posted.remove(posted)
+        comm_id, src, tag = env.comm_id, env.src, env.tag
+        keys = (
+            (comm_id, src, tag),
+            (comm_id, src, ANY_TAG),
+            (comm_id, ANY_SOURCE, tag),
+            (comm_id, ANY_SOURCE, ANY_TAG),
+        )
+        posted = self._posted
+        # Walk matching posted receives in post order (= ascending seq
+        # across the candidate bucket heads), pruning dead entries as
+        # they are encountered, until a live one claims the envelope --
+        # exactly the linear scan's semantics.
+        while True:
+            best_dq: Optional[Deque[_PostedRecv]] = None
+            best_seq = -1
+            for key in keys:
+                dq = posted.get(key)
+                if dq is None:
+                    continue
+                if not dq:
+                    del posted[key]
+                    continue
+                seq = dq[0].seq
+                if best_dq is None or seq < best_seq:
+                    best_dq = dq
+                    best_seq = seq
+            if best_dq is None:
+                break
+            rec = best_dq.popleft()
+            evt = rec.event
+            if evt.callbacks is not None and not evt.triggered:
                 self.matched_posted += 1
-                posted.event.succeed(env)
+                evt.succeed(env)
                 return
             # The waiter died (killed process / already-cancelled
-            # event): prune the entry and keep scanning -- a *live*
-            # receive further down the deque may also match, and must
-            # not be shadowed by the corpse.
-            self._posted.remove(posted)
+            # event): prune the entry and keep walking -- a *live*
+            # receive with a later seq may also match, and must not be
+            # shadowed by the corpse.
             self.pruned_dead += 1
-        self._unexpected.append(env)
+        rec = _Unexpected(env)
+        unexpected = self._unexpected
+        for key in keys:
+            dq = unexpected.get(key)
+            if dq is None:
+                dq = unexpected[key] = deque()
+            dq.append(rec)
+        self._unexpected_live += 1
 
     # -- recovery ------------------------------------------------------------
     def reset(self) -> Tuple[int, int]:
@@ -111,31 +237,116 @@ class MatchingEngine:
 
         Returns ``(cancelled, purged)`` counts.
         """
-        cancelled = 0
-        while self._posted:
-            posted = self._posted.popleft()
-            if posted.event.callbacks is not None and not posted.event.triggered:
-                posted.event.fail(RecvCancelled())
-                cancelled += 1
-        purged = len(self._unexpected)
+        live = [
+            rec
+            for dq in self._posted.values()
+            for rec in dq
+            if rec.live
+        ]
+        live.sort(key=lambda rec: rec.seq)  # fail in post order
+        for rec in live:
+            rec.event._cancel_cb = None
+            rec.event.fail(RecvCancelled())
+        cancelled = len(live)
+        self._posted.clear()
+        purged = self._unexpected_live
         self._unexpected.clear()
+        self._unexpected_live = 0
+        self._sweep_debt = 0
         self.cancelled_total += cancelled
         self.purged_total += purged
         return cancelled, purged
 
+    # -- lazy sweeping --------------------------------------------------------
+    def _note_cancel(self, _evt: Event) -> None:
+        """Kernel cancellation hook for posted-receive events."""
+        self._note_debt()
+
+    def _note_debt(self) -> None:
+        self._sweep_debt += 1
+        if self._sweep_debt >= self._sweep_at:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Compact every bucket: drop dead receives and taken aliases.
+
+        Removal order is irrelevant to matching semantics -- only dead
+        entries go -- so the sweep can run at any point between
+        deliveries.
+        """
+        self._sweep_debt = 0
+        surviving = 0
+        for key in list(self._posted):
+            dq = self._posted[key]
+            kept = [rec for rec in dq if rec.live]
+            if len(kept) != len(dq):
+                self.swept_dead += len(dq) - len(kept)
+                if kept:
+                    self._posted[key] = deque(kept)
+                else:
+                    del self._posted[key]
+                    continue
+            surviving += len(kept)
+        for key in list(self._unexpected):
+            dq = self._unexpected[key]
+            kept = [rec for rec in dq if not rec.taken]
+            if len(kept) != len(dq):
+                if kept:
+                    self._unexpected[key] = deque(kept)
+                else:
+                    del self._unexpected[key]
+                    continue
+            surviving += len(kept)
+        self._sweep_at = max(_SWEEP_THRESHOLD, surviving)
+
+    # -- introspection --------------------------------------------------------
+    def _iter_posted(self) -> Iterator[_PostedRecv]:
+        for dq in self._posted.values():
+            yield from dq
+
     @property
     def unexpected_count(self) -> int:
-        return len(self._unexpected)
+        return self._unexpected_live
 
     @property
     def posted_count(self) -> int:
-        return len(self._posted)
+        return sum(len(dq) for dq in self._posted.values())
 
     @property
     def pending_posted(self) -> int:
         """Posted receives still waiting on a live event -- the ones a
         finished rank must have drained (chaos invariant feed)."""
-        return sum(
-            1 for p in self._posted
-            if p.event.callbacks is not None and not p.event.triggered
-        )
+        return sum(1 for rec in self._iter_posted() if rec.live)
+
+
+# -- engine selection ---------------------------------------------------------
+def _resolve_default() -> Callable[[Simulator], "MatchingEngine"]:
+    choice = os.environ.get("REPRO_MATCHING", "indexed").lower()
+    if choice == "indexed":
+        return MatchingEngine
+    if choice == "reference":
+        from repro.net.matching_reference import ReferenceMatchingEngine
+
+        return ReferenceMatchingEngine
+    raise ValueError(
+        f"REPRO_MATCHING must be 'indexed' or 'reference', not {choice!r}"
+    )
+
+
+_engine_factory: Callable[[Simulator], "MatchingEngine"] = _resolve_default()
+
+
+def make_engine(sim: Simulator) -> "MatchingEngine":
+    """Build the matching engine every fresh :class:`NetContext` uses."""
+    return _engine_factory(sim)
+
+
+def set_engine_factory(factory) -> Callable[[Simulator], "MatchingEngine"]:
+    """Swap the engine implementation (benchmarks / conformance runs).
+
+    Returns the previous factory so callers can restore it.
+    """
+    global _engine_factory
+    previous = _engine_factory
+    _engine_factory = factory
+    return previous

@@ -9,33 +9,49 @@ and the actual payload object for data fidelity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 __all__ = ["Envelope"]
 
 _seq = itertools.count()
 
 
-@dataclass
 class Envelope:
-    """One message in flight."""
+    """One message in flight.
 
-    #: sender's rank within ``comm_id``
-    src: int
-    #: destination rank within ``comm_id``
-    dst: int
-    tag: int
-    comm_id: int
-    #: recovery epoch the message was sent in; receivers drop envelopes
-    #: from older epochs (stale pre-failure messages)
-    epoch: int
-    #: declared size for timing purposes
-    nbytes: float
-    #: the payload object (numpy array, Python object, Payload...)
-    data: Any = None
-    #: global monotonic sequence number -- debugging/trace ordering
-    seq: int = field(default_factory=lambda: next(_seq))
+    A plain ``__slots__`` class (not a dataclass): one envelope is
+    allocated per simulated message, so construction cost and per-
+    instance dicts matter.
+    """
+
+    __slots__ = ("src", "dst", "tag", "comm_id", "epoch", "nbytes",
+                 "data", "seq")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        comm_id: int,
+        epoch: int,
+        nbytes: float,
+        data: Any = None,
+        seq: Optional[int] = None,
+    ):
+        #: sender's / destination rank within ``comm_id``
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.comm_id = comm_id
+        #: recovery epoch the message was sent in; receivers drop
+        #: envelopes from older epochs (stale pre-failure messages)
+        self.epoch = epoch
+        #: declared size for timing purposes
+        self.nbytes = nbytes
+        #: the payload object (numpy array, Python object, Payload...)
+        self.data = data
+        #: global monotonic sequence number -- debugging/trace ordering
+        self.seq = next(_seq) if seq is None else seq
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

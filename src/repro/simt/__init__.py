@@ -26,7 +26,7 @@ simulation is bit-for-bit reproducible; there is no wall-clock input
 anywhere in the kernel.
 """
 
-from repro.simt.kernel import Event, Simulator, Timeout
+from repro.simt.kernel import Event, SimStats, Simulator, Timeout
 from repro.simt.process import Interrupt, Process, ProcessKilled
 from repro.simt.primitives import AllOf, AnyOf
 from repro.simt.resources import BandwidthResource, Resource, Store
@@ -42,6 +42,7 @@ __all__ = [
     "ProcessKilled",
     "Resource",
     "RngRegistry",
+    "SimStats",
     "Simulator",
     "Store",
     "Timeout",

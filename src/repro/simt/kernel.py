@@ -3,17 +3,32 @@
 The kernel is intentionally small.  Everything else (processes,
 resources, network links) is built from :class:`Event` and
 :meth:`Simulator.schedule`.
+
+Hot-path notes (this is the innermost loop of every simulation):
+
+* :meth:`Simulator.run` keeps the heap, the pop function and the
+  counters in locals and dispatches callbacks inline instead of going
+  through :meth:`Simulator.step`, which exists for single-stepping and
+  subclass instrumentation but costs a method call per event.
+* Callback lists are pooled per simulator: an event takes a list from
+  ``sim._cb_pool`` on construction and the dispatch loop returns it
+  after the callbacks ran, so steady-state simulations allocate no
+  list objects per event.
+* :meth:`Event.cancel` withdraws an event that will never fire so dead
+  waiters (killed processes) leave no live-looking tombstones in
+  whatever queue holds them; the matching engine keys its lazy sweeps
+  off the cancellation hook.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
-__all__ = ["Event", "Simulator", "Timeout", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimStats", "Timeout", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
@@ -22,6 +37,10 @@ class SimulationError(RuntimeError):
 
 #: Sentinel for "event has not produced a value yet".
 _PENDING = object()
+
+#: Callback lists kept per simulator for reuse (bounded so a burst of
+#: wide events cannot pin memory forever).
+_CB_POOL_MAX = 512
 
 
 class Event:
@@ -35,17 +54,30 @@ class Event:
 
     Callbacks receive the event itself and can inspect :attr:`ok` and
     :attr:`value`.
+
+    :meth:`cancel` is the third exit: an untriggered event whose waiter
+    is gone can be withdrawn.  A cancelled event never runs callbacks,
+    and later ``succeed``/``fail`` calls become no-ops (the in-flight
+    completion of an operation whose waiter died must not crash).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed",
+                 "_scheduled", "_cancelled", "_cancel_cb")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        pool = sim._cb_pool
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = (
+            pool.pop() if pool else []
+        )
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._processed = False
         self._scheduled = False
+        self._cancelled = False
+        #: single hook invoked (synchronously) on cancellation; used by
+        #: queue owners (the matching engine) to sweep dead entries
+        self._cancel_cb: Optional[Callable[["Event"], None]] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -57,6 +89,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` withdrew the event."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -75,6 +112,8 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Mark the event successful and schedule its callbacks."""
+        if self._cancelled:
+            return self
         if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
@@ -84,6 +123,8 @@ class Event:
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         """Mark the event failed; waiting processes see ``exc`` raised."""
+        if self._cancelled:
+            return self
         if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
@@ -93,17 +134,48 @@ class Event:
         self.sim._push(self, delay)
         return self
 
+    def cancel(self) -> bool:
+        """Withdraw an untriggered event; returns True if it took effect.
+
+        After a successful cancel the event never fires: callbacks are
+        dropped, later ``succeed``/``fail`` calls are silently ignored,
+        and any registered cancellation hook runs immediately so the
+        structure holding the waiter can unlink it.
+        """
+        if self._value is not _PENDING or self._cancelled:
+            return False
+        self._cancelled = True
+        cbs = self.callbacks
+        self.callbacks = None
+        if cbs is not None:
+            pool = self.sim._cb_pool
+            if len(pool) < _CB_POOL_MAX:
+                cbs.clear()
+                pool.append(cbs)
+        hook = self._cancel_cb
+        if hook is not None:
+            self._cancel_cb = None
+            hook(self)
+        return True
+
     # -- internal ------------------------------------------------------------
     def _run_callbacks(self) -> None:
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
-        for cb in callbacks:  # type: ignore[union-attr]
-            cb(self)
+        if callbacks is not None:
+            for cb in callbacks:
+                cb(self)
+            pool = self.sim._cb_pool
+            if len(pool) < _CB_POOL_MAX:
+                callbacks.clear()
+                pool.append(callbacks)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
             "processed"
             if self._processed
+            else "cancelled"
+            if self._cancelled
             else "triggered"
             if self.triggered
             else "pending"
@@ -126,6 +198,24 @@ class Timeout(Event):
         sim._push(self, delay)
 
 
+class SimStats:
+    """Lifetime kernel counters for one :class:`Simulator`."""
+
+    __slots__ = ("events_processed", "peak_heap")
+
+    def __init__(self) -> None:
+        #: events popped off the heap and dispatched
+        self.events_processed = 0
+        #: largest number of scheduled events ever outstanding at once
+        self.peak_heap = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimStats events={self.events_processed} "
+            f"peak_heap={self.peak_heap}>"
+        )
+
+
 class Simulator:
     """The discrete-event simulator: virtual clock plus event heap.
 
@@ -139,6 +229,9 @@ class Simulator:
         self._heap: List[Any] = []
         self._seq: int = 0
         self._active_proc = None  # set by Process while resuming
+        #: recycled callback lists (see module docstring)
+        self._cb_pool: List[list] = []
+        self.stats = SimStats()
         #: observability sinks; no-ops until a Tracer / MetricsRegistry
         #: attaches itself (instrumentation sites guard on ``.enabled``)
         self.tracer = NULL_TRACER
@@ -149,8 +242,12 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        seq = self._seq = self._seq + 1
+        heap = self._heap
+        heappush(heap, (self.now + delay, seq, event))
+        stats = self.stats
+        if len(heap) > stats.peak_heap:
+            stats.peak_heap = len(heap)
 
     def event(self) -> Event:
         """Create a fresh untriggered event."""
@@ -174,10 +271,11 @@ class Simulator:
     # -- execution -------------------------------------------------------------
     def step(self) -> None:
         """Process the next event on the heap."""
-        time, _seq, event = heapq.heappop(self._heap)
+        time, _seq, event = heappop(self._heap)
         if time < self.now:  # pragma: no cover - defensive
             raise SimulationError("event heap corrupted: time went backwards")
         self.now = time
+        self.stats.events_processed += 1
         event._run_callbacks()
 
     def peek(self) -> float:
@@ -199,19 +297,40 @@ class Simulator:
         elif until is not None:
             limit_time = float(until)
 
+        heap = self._heap
+        pop = heappop
+        cb_pool = self._cb_pool
         n = 0
-        while self._heap:
-            if limit_event is not None and limit_event.processed:
-                break
-            if limit_time is not None and self._heap[0][0] > limit_time:
-                self.now = limit_time
-                break
-            self.step()
-            n += 1
-            if max_events is not None and n >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; livelock suspected"
-                )
+        try:
+            while heap:
+                if limit_event is not None and limit_event._processed:
+                    break
+                if limit_time is not None and heap[0][0] > limit_time:
+                    self.now = limit_time
+                    break
+                time, _seq, event = pop(heap)
+                self.now = time
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is not None:
+                    for cb in callbacks:
+                        cb(event)
+                    if len(cb_pool) < _CB_POOL_MAX:
+                        callbacks.clear()
+                        cb_pool.append(callbacks)
+                n += 1
+                if max_events is not None and n >= max_events:
+                    # The budget is a livelock tripwire, not a hard
+                    # stop: the awaited event completing on exactly the
+                    # Nth step is success, not livelock.
+                    if limit_event is not None and limit_event._processed:
+                        break
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; livelock suspected"
+                    )
+        finally:
+            self.stats.events_processed += n
         if limit_event is not None:
             if not limit_event.triggered:
                 raise SimulationError(

@@ -99,6 +99,12 @@ class Process(Event):
             return
         self._killed = True
         self._detach()
+        # If nobody else is waiting on the target, withdraw it: a
+        # killed process must not leave a live-looking posted receive
+        # behind to swallow a message meant for a living waiter.
+        tgt = self._target
+        if tgt is not None and not tgt.callbacks and not tgt.triggered:
+            tgt.cancel()
         self._target = None
         try:
             self.generator.close()

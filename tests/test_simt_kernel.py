@@ -144,3 +144,127 @@ def test_timeout_is_event_subclass():
     sim = Simulator()
     assert isinstance(sim.timeout(0.0), Event)
     assert isinstance(sim.timeout(0.0), Timeout)
+
+
+# ------------------------------------------------------- cancellation
+def test_cancel_untriggered_event():
+    sim = Simulator()
+    evt = Event(sim)
+    assert evt.cancel() is True
+    assert evt.cancelled
+    assert not evt.triggered
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    evt = Event(sim)
+    assert evt.cancel() is True
+    assert evt.cancel() is False
+
+
+def test_cancel_after_trigger_refused():
+    sim = Simulator()
+    evt = Event(sim).succeed("v")
+    assert evt.cancel() is False
+    assert not evt.cancelled
+
+
+def test_succeed_and_fail_after_cancel_are_noops():
+    # The in-flight completion of an operation whose waiter died must
+    # not crash -- and must not resurrect the event.
+    sim = Simulator()
+    evt = Event(sim)
+    evt.cancel()
+    evt.succeed("late")
+    evt.fail(RuntimeError("later"))
+    sim.run()
+    assert not evt.triggered and not evt.processed
+
+
+def test_cancelled_event_on_heap_never_fires():
+    sim = Simulator()
+    fired = []
+    first = sim.timeout(1.0)
+    first.callbacks.append(lambda e: fired.append("first"))
+    second = sim.timeout(2.0)
+    second.callbacks.append(lambda e: fired.append("second"))
+    assert second.cancel() is False  # Timeout is triggered at birth
+    # An explicitly triggered-then-scheduled Event can still be
+    # withdrawn before its callbacks run only via the callbacks list;
+    # cancel() targets *untriggered* events, so drive one through a
+    # waiter that cancels it before it is succeeded.
+    evt = Event(sim)
+    evt.callbacks.append(lambda e: fired.append("evt"))
+    evt.cancel()
+    evt.succeed(None)  # no-op: never reaches the heap
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_cancel_hook_runs_synchronously():
+    sim = Simulator()
+    seen = []
+    evt = Event(sim)
+    evt._cancel_cb = seen.append
+    evt.cancel()
+    assert seen == [evt]
+    # hook cleared: a second (refused) cancel never re-fires it
+    evt.cancel()
+    assert seen == [evt]
+
+
+# ---------------------------------------------------------- run stats
+def test_stats_count_events_and_peak_heap():
+    sim = Simulator()
+    for d in (1.0, 2.0, 3.0):
+        sim.timeout(d)
+    assert sim.stats.peak_heap == 3
+    sim.run()
+    assert sim.stats.events_processed == 3
+    sim.timeout(1.0)
+    sim.run()
+    assert sim.stats.events_processed == 4  # cumulative
+
+
+def test_stats_counted_even_when_run_raises():
+    sim = Simulator()
+
+    def ping(_e):
+        t = sim.timeout(1.0)
+        t.callbacks.append(ping)
+
+    ping(None)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=10)
+    assert sim.stats.events_processed == 10
+
+
+def test_until_event_at_exactly_max_events_succeeds():
+    # Regression: the awaited event completing on precisely the Nth
+    # step used to raise the livelock error anyway.
+    sim = Simulator()
+    for d in (1.0, 2.0, 3.0):
+        last = sim.timeout(d)
+    assert sim.run(until=last, max_events=3) is None
+    assert last.processed
+
+
+def test_max_events_still_guards_past_the_awaited_event():
+    sim = Simulator()
+    sim.timeout(1.0)
+    never = Event(sim)  # never triggered
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(until=never, max_events=1)
+
+
+# ------------------------------------------------------ callback pool
+def test_callback_lists_are_recycled():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    lst = t.callbacks
+    t.callbacks.append(lambda e: None)
+    sim.run()
+    assert t.callbacks is None  # detached after processing
+    reused = Event(sim)
+    assert reused.callbacks is lst  # pooled list handed to the next event
+    assert reused.callbacks == []
