@@ -5,10 +5,13 @@ the observability layer:
 
 * :mod:`~repro.chaos.scenario` -- the declarative DSL: triggers
   (fixed time, trace event, seeded random schedule) x actions (kill
-  slot/node/rank, drain) armed by a :class:`ChaosEngine`;
+  slot/node/rank, drain, partition/heal, lossy links, limping nodes)
+  armed by a :class:`ChaosEngine`;
 * :mod:`~repro.chaos.campaigns` -- canned campaigns covering the
-  corner matrix (mid-checkpoint kill, kill-during-recovery, double
-  kill in one XOR group, spare exhaustion, drain-then-fail);
+  corner matrix: crash faults (mid-checkpoint kill, kill-during-
+  recovery, double kill in one XOR group, spare exhaustion,
+  drain-then-fail) and gray failures (partition-heal, partition-kill-
+  mid-heal, flapping-partition, lossy-links, limping-node);
 * :mod:`~repro.chaos.invariants` -- runtime-wide properties checked
   against the trace and runtime state after every run;
 * :mod:`~repro.chaos.runner` -- deterministic (campaign, seed)
@@ -20,7 +23,7 @@ CLI (see ``python -m repro.chaos --help``)::
     python -m repro.chaos --replay drain-then-fail:7  # one failing pair
 """
 
-from repro.chaos.campaigns import CAMPAIGNS, Campaign
+from repro.chaos.campaigns import CAMPAIGNS, GRAY_CAMPAIGNS, Campaign
 from repro.chaos.invariants import (
     DetectorMonitor,
     Violation,
@@ -28,31 +31,44 @@ from repro.chaos.invariants import (
     check_answer,
     check_detector_bounded,
     check_epoch_monotone,
+    check_link_accounting,
+    check_no_split_brain,
     check_no_stale_delivery,
     check_posted_receives,
+    check_suspicion_resolved,
 )
 from repro.chaos.runner import MAX_EVENTS, RunResult, run_campaign, soak
 from repro.chaos.scenario import (
     AtTime,
     ChaosEngine,
     DrainSlot,
+    HealPartition,
     KillNode,
     KillRandomSlot,
     KillRank,
     KillSlot,
+    LimpSlot,
+    Omission,
+    OmissionOff,
     OnEvent,
+    Partition,
     RandomTimes,
     Rule,
     Scenario,
+    UnlimpSlot,
 )
 
 __all__ = [
     "AtTime", "OnEvent", "RandomTimes",
     "KillSlot", "KillRandomSlot", "KillNode", "KillRank", "DrainSlot",
+    "Partition", "HealPartition", "Omission", "OmissionOff",
+    "LimpSlot", "UnlimpSlot",
     "Rule", "Scenario", "ChaosEngine",
-    "CAMPAIGNS", "Campaign",
+    "CAMPAIGNS", "GRAY_CAMPAIGNS", "Campaign",
     "Violation", "DetectorMonitor", "check_all",
     "check_epoch_monotone", "check_no_stale_delivery",
     "check_posted_receives", "check_detector_bounded", "check_answer",
+    "check_no_split_brain", "check_suspicion_resolved",
+    "check_link_accounting",
     "RunResult", "run_campaign", "soak", "MAX_EVENTS",
 ]

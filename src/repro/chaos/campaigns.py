@@ -21,6 +21,22 @@ failure-free one.
 * ``drain-then-fail`` -- a healthy node is drained (and returned to the
   pool), then another node fails; the recovery may reclaim the drained
   node.
+
+Gray-failure campaigns (nothing needs to die for these to hurt):
+
+* ``partition-heal`` -- the fabric splits into two halves, stays cut
+  for a while, then heals; the detector must *suspect* but never act
+  (zero recoveries), and the overlay must repair itself.
+* ``partition-kill-mid-heal`` -- a real node death lands inside the
+  partition window; exactly that one failure may drive recovery, and
+  the answer must still be bit-equal.
+* ``flapping-partition`` -- several short cuts in a row, some shorter
+  than the ibverbs close delay, so disconnect events land after their
+  partition already healed.
+* ``lossy-links`` -- a seeded drop/duplicate/delay model afflicts every
+  link for the whole run, plus one mid-run node kill.
+* ``limping-node`` -- one node limps (degraded NIC), a *different* node
+  dies; the limping node must not be falsely suspected.
 """
 
 from __future__ import annotations
@@ -35,13 +51,16 @@ from repro.chaos.scenario import (
     DrainSlot,
     KillRandomSlot,
     KillSlot,
+    LimpSlot,
+    Omission,
     OnEvent,
+    Partition,
     RandomTimes,
     Rule,
 )
 from repro.fmi.config import FmiConfig
 
-__all__ = ["Campaign", "CAMPAIGNS"]
+__all__ = ["Campaign", "CAMPAIGNS", "GRAY_CAMPAIGNS"]
 
 RulesFn = Callable[[np.random.Generator, "Campaign"], List[Rule]]
 
@@ -132,6 +151,75 @@ def _drain_then_fail_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
     ]
 
 
+def _halves(c: Campaign):
+    """Split the slots into two contiguous halves (the canonical cut)."""
+    mid = c.num_slots // 2
+    return (tuple(range(mid)), tuple(range(mid, c.num_slots)))
+
+
+def _partition_heal_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    t0 = float(rng.uniform(1.5, 3.0))
+    dur = float(rng.uniform(0.5, 1.5))
+    mode = str(rng.choice(["stall", "drop"]))
+    return [Rule(AtTime(t0), Partition(_halves(c), heal_after=dur, mode=mode))]
+
+
+def _partition_kill_mid_heal_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # The acceptance scenario: cut the cluster, kill a node while the
+    # cut is open, heal.  The kill's recovery has to rendezvous through
+    # the (partition-immune) management network, resume on a split
+    # fabric, and the heal must stitch the overlay back together.
+    t0 = float(rng.uniform(1.5, 2.5))
+    dur = float(rng.uniform(0.8, 1.5))
+    kill_at = t0 + float(rng.uniform(0.1, 0.9)) * dur
+    victim = int(rng.integers(c.num_slots))
+    mode = str(rng.choice(["stall", "drop"]))
+    return [
+        Rule(AtTime(t0), Partition(_halves(c), heal_after=dur, mode=mode)),
+        Rule(AtTime(kill_at), KillSlot(victim)),
+    ]
+
+
+def _flapping_partition_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Several short cuts; some shorter than the 0.2 s ibverbs close
+    # delay, so the disconnect events arrive after the heal -- the
+    # flap the suspicion machinery has to shrug off.
+    rules: List[Rule] = []
+    t = float(rng.uniform(1.0, 2.0))
+    for _ in range(3):
+        dur = float(rng.uniform(0.05, 0.4))
+        rules.append(Rule(AtTime(t), Partition(_halves(c), heal_after=dur)))
+        t += dur + float(rng.uniform(0.4, 0.9))
+    return rules
+
+
+def _lossy_links_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    drop_p = float(rng.uniform(0.02, 0.08))
+    dup_p = float(rng.uniform(0.01, 0.05))
+    delay_p = float(rng.uniform(0.02, 0.08))
+    victim = int(rng.integers(c.num_slots))
+    kill_at = float(rng.uniform(2.0, 4.0))
+    return [
+        Rule(AtTime(0.5), Omission(drop_p=drop_p, dup_p=dup_p, delay_p=delay_p)),
+        Rule(AtTime(kill_at), KillSlot(victim)),
+    ]
+
+
+def _limping_node_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    limper = int(rng.integers(c.num_slots))
+    victim = int((limper + 1 + rng.integers(c.num_slots - 1)) % c.num_slots)
+    t0 = float(rng.uniform(1.0, 2.0))
+    dur = float(rng.uniform(1.0, 3.0))
+    bw = float(rng.choice([4.0, 16.0, 64.0]))
+    lat = float(rng.choice([2.0, 8.0]))
+    kill_at = t0 + float(rng.uniform(0.2, 0.8)) * dur
+    return [
+        Rule(AtTime(t0), LimpSlot(limper, bw_factor=bw, latency_factor=lat,
+                                  duration=dur)),
+        Rule(AtTime(kill_at), KillSlot(victim)),
+    ]
+
+
 # ------------------------------------------------------------------ registry
 CAMPAIGNS: Dict[str, Campaign] = {
     c.name: c
@@ -173,5 +261,45 @@ CAMPAIGNS: Dict[str, Campaign] = {
             pool_extra=3,
             config_extra={"level2_every": 1},
         ),
+        Campaign(
+            "partition-heal",
+            "fabric splits in half, then heals; nobody must die",
+            _partition_heal_rules,
+        ),
+        Campaign(
+            "partition-kill-mid-heal",
+            "node dies while the fabric is partitioned",
+            _partition_kill_mid_heal_rules,
+            pool_extra=3,
+            config_extra={"level2_every": 1},
+        ),
+        Campaign(
+            "flapping-partition",
+            "repeated short cuts, some under the ibverbs close delay",
+            _flapping_partition_rules,
+        ),
+        Campaign(
+            "lossy-links",
+            "seeded drop/dup/delay on every link, plus one node kill",
+            _lossy_links_rules,
+            pool_extra=3,
+            config_extra={"level2_every": 1},
+        ),
+        Campaign(
+            "limping-node",
+            "one node limps while a different node dies",
+            _limping_node_rules,
+            pool_extra=3,
+            config_extra={"level2_every": 1},
+        ),
     ]
 }
+
+#: names of the gray-failure campaigns (the CI gray-soak job's set)
+GRAY_CAMPAIGNS: List[str] = [
+    "partition-heal",
+    "partition-kill-mid-heal",
+    "flapping-partition",
+    "lossy-links",
+    "limping-node",
+]

@@ -22,6 +22,20 @@ of :class:`Violation` s (empty = green):
   legitimately empty once every rank has left).
 * **answer** -- the application's per-rank results are bit-equal to the
   failure-free reference run.
+
+Gray-failure invariants:
+
+* **no-split-brain** -- a network partition alone must never be treated
+  as a failure: no rank may act on a partition-rooted notification that
+  was not out-of-band confirmed, and the number of recovery epochs must
+  not exceed the number of *real* injected deaths/drains (a partition
+  that triggered recovery on both sides would double it).
+* **suspicion-resolved** -- every ``overlay.suspect`` the detector
+  raises is eventually cleared (peer alive, healed, dead, or the rank
+  left); an unresolved suspicion is a leaked timer or a lost decision.
+* **link-accounting** -- after the run, no message is still parked at a
+  healed partition cut, and the receiver never suppressed more
+  duplicates than the fault model injected.
 """
 
 from __future__ import annotations
@@ -31,10 +45,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.net.overlay import root_reason
+
 __all__ = [
     "Violation", "DetectorMonitor",
     "check_epoch_monotone", "check_no_stale_delivery",
     "check_posted_receives", "check_detector_bounded", "check_answer",
+    "check_no_split_brain", "check_suspicion_resolved",
+    "check_link_accounting",
     "check_all",
 ]
 
@@ -194,6 +212,89 @@ def check_detector_bounded(job, monitor: DetectorMonitor) -> List[Violation]:
     return out
 
 
+# ------------------------------------------------------- gray-failure checks
+def check_no_split_brain(tracer) -> List[Violation]:
+    """A partition alone must never drive recovery.
+
+    Two teeth: (1) no ``fmi.notify`` whose root reason is a raw
+    ``partition:`` event -- the detector must hold such events as
+    suspicions and only act after out-of-band confirmation
+    (``confirmed:...``); (2) the job never opens more recovery epochs
+    than real deaths/drains were injected, so a cut observed on both
+    sides cannot silently double the recovery count.
+    """
+    out: List[Violation] = []
+    deaths = 0
+    recoveries = 0
+    for ev in tracer.events:
+        if ev.name == "node.crash":
+            deaths += 1
+        elif ev.name == "chaos.inject":
+            action = ev.args.get("action", "")
+            # Process-only kills and drains cause recovery without a
+            # node.crash trace; refused/no-op records do not count.
+            if (
+                (action.startswith("kill rank") or action.startswith("drain slot"))
+                and "refused" not in action
+                and "already dead" not in action
+            ):
+                deaths += 1
+        elif ev.name == "recovery.begin":
+            recoveries += 1
+        elif ev.name == "fmi.notify":
+            reason = root_reason(str(ev.args.get("reason", "")))
+            if reason.startswith("partition:"):
+                out.append(Violation(
+                    "no-split-brain",
+                    f"rank {ev.rank} acted on unconfirmed partition event "
+                    f"{reason!r} at t={ev.ts:.6g}",
+                ))
+    if recoveries > deaths:
+        out.append(Violation(
+            "no-split-brain",
+            f"{recoveries} recovery epoch(s) opened for only {deaths} "
+            f"real injected death(s)/drain(s)",
+        ))
+    return out
+
+
+def check_suspicion_resolved(tracer) -> List[Violation]:
+    """Every raised suspicion is eventually cleared."""
+    pending: Dict[tuple, float] = {}
+    for ev in tracer.events:
+        if ev.name == "overlay.suspect":
+            pending[(ev.rank, ev.args.get("peer"))] = ev.ts
+        elif ev.name == "overlay.suspect.cleared":
+            pending.pop((ev.rank, ev.args.get("peer")), None)
+    return [
+        Violation(
+            "suspicion-resolved",
+            f"rank {rank}'s suspicion of rank {peer} (raised t={ts:.6g}) "
+            f"was never resolved",
+        )
+        for (rank, peer), ts in pending.items()
+    ]
+
+
+def check_link_accounting(job) -> List[Violation]:
+    """No lost or fabricated messages at the gray-failure layer."""
+    out: List[Violation] = []
+    transport = job.transport
+    if transport._stalled and not job.machine.fabric.partitioned:
+        out.append(Violation(
+            "link-accounting",
+            f"{len(transport._stalled)} message(s) still parked at a "
+            f"partition cut although the fabric is healed",
+        ))
+    if transport.dup_dropped > transport.omission_dups:
+        out.append(Violation(
+            "link-accounting",
+            f"suppressed {transport.dup_dropped} duplicate(s) but the "
+            f"fault model only injected {transport.omission_dups}",
+        ))
+    return out
+
+
 # -------------------------------------------------------------- the answer
 def check_answer(results: Sequence, reference: Sequence) -> List[Violation]:
     """Per-rank results must be *bit-equal* to the failure-free run."""
@@ -229,7 +330,10 @@ def check_all(
     out: List[Violation] = []
     out += check_epoch_monotone(tracer)
     out += check_no_stale_delivery(tracer)
+    out += check_no_split_brain(tracer)
+    out += check_suspicion_resolved(tracer)
     out += check_posted_receives(job)
+    out += check_link_accounting(job)
     if monitor is not None:
         out += check_detector_bounded(job, monitor)
     if results is not None and reference is not None:

@@ -51,6 +51,14 @@ class RunResult:
     sim_time: float
     trace_events: int
     stale_dropped: int
+    #: gray-failure statistics (all zero for kill-only campaigns)
+    false_suspicions: int = 0
+    repaired_edges: int = 0
+    partition_stalls: int = 0
+    partition_retries: int = 0
+    omission_drops: int = 0
+    omission_dups: int = 0
+    dup_dropped: int = 0
     tracer: Optional[Tracer] = field(default=None, repr=False)
 
     @property
@@ -134,6 +142,13 @@ def run_campaign(
         sim_time=sim.now,
         trace_events=len(tracer.events),
         stale_dropped=job.transport.dropped_stale,
+        false_suspicions=job.detector.false_suspicions,
+        repaired_edges=job.detector.repaired_edges,
+        partition_stalls=job.transport.partition_stalls,
+        partition_retries=job.transport.partition_retries,
+        omission_drops=job.transport.omission_drops,
+        omission_dups=job.transport.omission_dups,
+        dup_dropped=job.transport.dup_dropped,
         tracer=tracer if keep_trace else None,
     )
 

@@ -20,6 +20,14 @@ actions
     (exercises the fmirun.task sibling-kill / EXIT_FAILURE path);
     :class:`DrainSlot` -- gracefully vacate a slot (Section III-A).
 
+gray-failure actions (nothing dies; see DESIGN.md)
+    :class:`Partition` / :class:`HealPartition` -- cut the fabric into
+    slot groups (in-flight cross-cut messages stall or drop), then heal;
+    :class:`Omission` / :class:`OmissionOff` -- attach/detach a seeded
+    per-link drop/duplicate/delay model to the job's transport;
+    :class:`LimpSlot` / :class:`UnlimpSlot` -- degrade/restore one
+    slot's NIC bandwidth and latency.
+
 The :class:`ChaosEngine` arms a scenario against a launched job.  Every
 action fires from the event heap (a timeout callback), never from
 inside a tracer listener: the trace event that triggers a kill is
@@ -33,10 +41,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.cluster.failures import EventInjector
+from repro.net.faults import LinkFaultModel
 
 __all__ = [
     "AtTime", "OnEvent", "RandomTimes",
     "KillSlot", "KillRandomSlot", "KillNode", "KillRank", "DrainSlot",
+    "Partition", "HealPartition", "Omission", "OmissionOff",
+    "LimpSlot", "UnlimpSlot",
     "Rule", "Scenario", "ChaosEngine",
 ]
 
@@ -107,7 +118,78 @@ class DrainSlot:
     slot: int
 
 
-Action = Union[KillSlot, KillRandomSlot, KillNode, KillRank, DrainSlot]
+@dataclass(frozen=True)
+class Partition:
+    """Split the fabric into components of job *slots*.
+
+    ``groups`` lists slot indices per component (slots map to their
+    current nodes at fire time; unlisted nodes -- spares, the RM pool
+    -- join component 0).  Cross-cut in-flight messages are stalled
+    until heal (``mode="stall"``) or dropped-and-retransmitted
+    (``mode="drop"``); overlay connections across the cut raise
+    disconnect events with a ``partition:`` reason on *both* (live)
+    ends.  ``heal_after`` schedules the heal; None leaves the cut until
+    an explicit :class:`HealPartition`.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_after: Optional[float] = None
+    mode: str = "stall"
+
+
+@dataclass(frozen=True)
+class HealPartition:
+    """Heal the active partition (no-op when fully connected)."""
+
+
+@dataclass(frozen=True)
+class Omission:
+    """Attach a seeded lossy-link model to the job's transport.
+
+    Per message: each transmission attempt is lost with ``drop_p``
+    (costing one ``rto`` retransmission each), the receiver sees a
+    duplicate with ``dup_p``, and extra Exp(``delay_mean``) queueing
+    delay strikes with ``delay_p``.  ``duration`` auto-detaches the
+    model after that many seconds; None keeps it for the whole run.
+    """
+
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    delay_p: float = 0.0
+    rto: float = 0.05
+    delay_mean: float = 0.01
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class OmissionOff:
+    """Detach the lossy-link model (in-flight faults still play out)."""
+
+
+@dataclass(frozen=True)
+class LimpSlot:
+    """Degrade the network path of the node holding ``slot``: NIC
+    bandwidth divided by ``bw_factor``, per-message latencies times
+    ``latency_factor``.  ``duration`` auto-reverts; None limps until an
+    explicit :class:`UnlimpSlot`."""
+
+    slot: int
+    bw_factor: float = 8.0
+    latency_factor: float = 4.0
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class UnlimpSlot:
+    """Restore the network health of the node holding ``slot``."""
+
+    slot: int
+
+
+Action = Union[
+    KillSlot, KillRandomSlot, KillNode, KillRank, DrainSlot,
+    Partition, HealPartition, Omission, OmissionOff, LimpSlot, UnlimpSlot,
+]
 
 
 @dataclass(frozen=True)
@@ -232,5 +314,93 @@ class ChaosEngine:
                 self._record(f"drain slot {action.slot}: refused ({exc})")
                 return
             self._record(f"drain slot {action.slot}")
+        elif isinstance(action, Partition):
+            fabric = job.machine.fabric
+            if fabric.partitioned:
+                self._record("partition: refused (already partitioned)")
+                return
+            node_groups = [
+                sorted({job.fmirun.node_slots[s].id for s in group})
+                for group in action.groups
+            ]
+            job.transport.partition_mode = action.mode
+            tag = fabric.partition(node_groups)
+            desc = f"partition {tag} groups={node_groups} mode={action.mode}"
+            if action.heal_after is not None:
+                desc += f" heal_after={action.heal_after:g}"
+                timer = self.sim.timeout(action.heal_after)
+                timer.callbacks.append(lambda _e: self._heal(tag))
+            self._record(desc)
+        elif isinstance(action, HealPartition):
+            fabric = job.machine.fabric
+            if not fabric.partitioned:
+                self._record("heal: no active partition")
+                return
+            tag = fabric.partition_tag
+            self._record(f"heal partition {tag}")
+            fabric.heal()
+        elif isinstance(action, Omission):
+            if self.rng is None:
+                raise ValueError("Omission needs an engine rng")
+            model = LinkFaultModel(
+                self.rng, drop_p=action.drop_p, dup_p=action.dup_p,
+                delay_p=action.delay_p, rto=action.rto,
+                delay_mean=action.delay_mean,
+            )
+            job.transport.set_faults(model)
+            desc = f"omission on ({model.describe()})"
+            if action.duration is not None:
+                desc += f" duration={action.duration:g}"
+                timer = self.sim.timeout(action.duration)
+                timer.callbacks.append(lambda _e: self._omission_off(model))
+            self._record(desc)
+        elif isinstance(action, OmissionOff):
+            if job.transport.faults is None:
+                self._record("omission off: no model attached")
+                return
+            job.transport.clear_faults()
+            self._record("omission off")
+        elif isinstance(action, LimpSlot):
+            node = job.fmirun.node_slots[action.slot]
+            if not node.alive:
+                self._record(f"limp slot {action.slot}: refused (node dead)")
+                return
+            node.set_limp(action.bw_factor, action.latency_factor)
+            desc = (
+                f"limp slot {action.slot} (node {node.id}) "
+                f"bw/{action.bw_factor:g} lat*{action.latency_factor:g}"
+            )
+            if action.duration is not None:
+                desc += f" duration={action.duration:g}"
+                timer = self.sim.timeout(action.duration)
+                timer.callbacks.append(lambda _e: self._unlimp(node))
+            self._record(desc)
+        elif isinstance(action, UnlimpSlot):
+            node = job.fmirun.node_slots[action.slot]
+            if not node.alive:
+                self._record(f"unlimp slot {action.slot}: refused (node dead)")
+                return
+            node.clear_limp()
+            self._record(f"unlimp slot {action.slot} (node {node.id})")
         else:
             raise TypeError(f"unknown action {action!r}")
+
+    # -- deferred revert helpers (auto-heal / auto-detach / auto-unlimp) ----
+    def _heal(self, tag: str) -> None:
+        fabric = self.job.machine.fabric
+        if self.job.finished or fabric.partition_tag != tag:
+            return
+        self._record(f"heal partition {tag} (scheduled)")
+        fabric.heal()
+
+    def _omission_off(self, model: LinkFaultModel) -> None:
+        if self.job.finished or self.job.transport.faults is not model:
+            return
+        self.job.transport.clear_faults()
+        self._record("omission off (scheduled)")
+
+    def _unlimp(self, node) -> None:
+        if self.job.finished or not node.alive or not node.limping:
+            return
+        node.clear_limp()
+        self._record(f"unlimp node {node.id} (scheduled)")

@@ -31,6 +31,7 @@ __all__ = [
     "MtbfInjector",
     "TraceInjector",
     "EventInjector",
+    "LimpInjector",
     "TSUBAME2_FAILURE_TYPES",
     "TSUBAME2_TABLE1_CLASSES",
 ]
@@ -382,3 +383,73 @@ class MtbfInjector:
             if self.sim.metrics.enabled:
                 self.sim.metrics.counter("failures.injected", type="mtbf").inc()
             self.kill(victim)
+
+
+class LimpInjector:
+    """Gray-failure injector: random nodes limp for random windows.
+
+    Every Exp(``mean_interval``) seconds a uniformly random *live,
+    healthy* node has its network path degraded (``set_limp``) for an
+    Exp(``mean_duration``) window, then restored -- the slow-but-alive
+    failure mode that crash injectors cannot produce.  Degradation
+    factors are drawn uniformly from ``bw_factors`` x
+    ``latency_factors``.  ``episodes`` records
+    ``(start, end, node, bw_factor, latency_factor)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        nodes: Sequence,
+        mean_interval: float,
+        mean_duration: float,
+        bw_factors: Sequence[float] = (4.0, 16.0),
+        latency_factors: Sequence[float] = (2.0, 8.0),
+    ):
+        if mean_interval <= 0 or mean_duration <= 0:
+            raise ValueError("mean_interval and mean_duration must be positive")
+        if not nodes:
+            raise ValueError("need at least one node to limp")
+        self.sim = sim
+        self.rng = rng
+        self.nodes = list(nodes)
+        self.mean_interval = mean_interval
+        self.mean_duration = mean_duration
+        self.bw_factors = list(bw_factors)
+        self.latency_factors = list(latency_factors)
+        self.episodes: List[Tuple[float, float, int, float, float]] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.spawn(self._arrivals(), name="limp-injector")
+
+    def stop(self) -> None:
+        """Disarm and heal every currently limping node."""
+        self._running = False
+        for node in self.nodes:
+            if node.alive and node.limping:
+                node.clear_limp()
+
+    def _arrivals(self):
+        while self._running:
+            gap = float(self.rng.exponential(self.mean_interval))
+            yield self.sim.timeout(gap)
+            if not self._running:
+                return
+            healthy = [n for n in self.nodes if n.alive and not n.limping]
+            if not healthy:
+                continue
+            node = healthy[int(self.rng.integers(len(healthy)))]
+            bw = float(self.bw_factors[int(self.rng.integers(len(self.bw_factors)))])
+            lat = float(
+                self.latency_factors[int(self.rng.integers(len(self.latency_factors)))]
+            )
+            duration = float(self.rng.exponential(self.mean_duration))
+            start = self.sim.now
+            node.set_limp(bw, lat)
+            self.episodes.append((start, start + duration, node.id, bw, lat))
+            yield self.sim.timeout(duration)
+            if node.alive and node.limping:
+                node.clear_limp()

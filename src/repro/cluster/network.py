@@ -16,7 +16,7 @@ Intra-node messages bypass the NIC and move through the memory bus.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.cluster.node import Node
 from repro.cluster.spec import NetworkSpec
@@ -27,7 +27,14 @@ __all__ = ["Fabric"]
 
 
 class Fabric:
-    """Connects all nodes of a machine; stateless wire + per-node NICs."""
+    """Connects all nodes of a machine; stateless wire + per-node NICs.
+
+    The fabric also owns the *partition* gray-failure state: at most
+    one partition at a time splits the node set into components, and
+    :meth:`reachable` answers whether two nodes can currently exchange
+    bytes.  The wire itself stays stateless -- whether a cut message is
+    stalled or dropped is the transport layer's policy.
+    """
 
     def __init__(self, sim: Simulator, spec: NetworkSpec):
         self.sim = sim
@@ -36,6 +43,83 @@ class Fabric:
         self.messages_sent = 0
         #: total payload bytes moved
         self.bytes_sent = 0.0
+        # -- partition state (None = fully connected) --
+        self._partition: Optional[Dict[int, int]] = None
+        self._partition_tag = ""
+        self._partition_count = 0
+        self._partition_listeners: List[Callable[[str, Dict[int, int]], None]] = []
+        self._heal_listeners: List[Callable[[str], None]] = []
+
+    # -- partitions ------------------------------------------------------------
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    @property
+    def partition_tag(self) -> str:
+        """Tag of the active partition ('' when healed)."""
+        return self._partition_tag if self._partition is not None else ""
+
+    def on_partition(self, callback: Callable[[str, Dict[int, int]], None]) -> None:
+        """Subscribe ``callback(tag, node_id -> component)`` to cuts."""
+        self._partition_listeners.append(callback)
+
+    def on_heal(self, callback: Callable[[str], None]) -> None:
+        """Subscribe ``callback(tag)`` to partition heals."""
+        self._heal_listeners.append(callback)
+
+    def partition(self, groups: Iterable[Iterable[int]], tag: str = "") -> str:
+        """Split the fabric into components; returns the partition tag.
+
+        ``groups`` lists node ids per component; any node not listed
+        joins component 0 (so a single group cleaves "these nodes" off
+        from "everyone else").  Only one partition may be active --
+        heal before imposing another.
+        """
+        if self._partition is not None:
+            raise RuntimeError(
+                f"fabric already partitioned ({self._partition_tag}); heal first"
+            )
+        # Explicit groups are numbered from 1: component 0 is reserved
+        # for unlisted nodes, so a single group really is cleaved off
+        # from the rest of the machine.
+        component: Dict[int, int] = {}
+        for idx, group in enumerate(groups, start=1):
+            for nid in group:
+                if nid in component:
+                    raise ValueError(f"node {nid} appears in two partition groups")
+                component[nid] = idx
+        self._partition_count += 1
+        self._partition = component
+        self._partition_tag = tag or f"p{self._partition_count}"
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "net.partition", "failure", tag=self._partition_tag,
+                components=max(component.values(), default=0) + 1,
+                cut_nodes=sorted(n for n, c in component.items() if c != 0),
+            )
+        for callback in list(self._partition_listeners):
+            callback(self._partition_tag, component)
+        return self._partition_tag
+
+    def heal(self) -> None:
+        """Remove the active partition (no-op when fully connected)."""
+        if self._partition is None:
+            return
+        tag = self._partition_tag
+        self._partition = None
+        self._partition_tag = ""
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant("net.heal", "failure", tag=tag)
+        for callback in list(self._heal_listeners):
+            callback(tag)
+
+    def reachable(self, node_a: int, node_b: int) -> bool:
+        """Can these two nodes currently exchange bytes?"""
+        part = self._partition
+        if part is None:
+            return True
+        return part.get(node_a, 0) == part.get(node_b, 0)
 
     def transfer_time(self, nbytes: float, sw_overhead: float) -> float:
         """Uncontended end-to-end time for one message (planning)."""
@@ -71,6 +155,10 @@ class Fabric:
             return src.mem_bw.transfer(nbytes, overhead=2 * overhead)
 
         arrived = Event(self.sim)
+        # Limping endpoints stretch the per-message latencies (their
+        # NIC bandwidth is already degraded via set_limp); the wire hop
+        # pays the slower endpoint's factor.
+        lat_factor = max(src.limp_latency, dst.limp_latency)
 
         def start(_evt: Event) -> None:
             tx = src.nic_tx.transfer(nbytes)
@@ -78,7 +166,10 @@ class Fabric:
             both = AllOf(self.sim, [tx, rx])
 
             def on_wire(_e: Event) -> None:
-                tail = self.sim.timeout(self.spec.wire_latency + overhead)
+                tail = self.sim.timeout(
+                    self.spec.wire_latency * lat_factor
+                    + overhead * dst.limp_latency
+                )
                 tail.callbacks.append(
                     lambda _t: arrived.succeed(None)
                     if not arrived.triggered
@@ -88,6 +179,6 @@ class Fabric:
             both.callbacks.append(on_wire)
 
         # Sender-side software overhead before bytes hit the NIC.
-        head = self.sim.timeout(overhead)
+        head = self.sim.timeout(overhead * src.limp_latency)
         head.callbacks.append(start)
         return arrived

@@ -45,6 +45,10 @@ class Node:
         self.tmpfs = Tmpfs(sim, fs.tmpfs_bw, fs.tmpfs_latency, node_id)
         self._procs: List[Process] = []
         self._crash_listeners: List[Callable[["Node", Any], None]] = []
+        #: gray-failure degradation factors (1.0 = healthy); >= 1 slows
+        #: the node's network path down without killing anything.
+        self.limp_bw = 1.0
+        self.limp_latency = 1.0
 
     # -- process registry ------------------------------------------------------
     def register(self, proc: Process) -> Process:
@@ -77,6 +81,41 @@ class Node:
         """
         cores = max(1, min(cores, self.spec.node.cores))
         return self.sim.timeout(flops / (self.spec.node.core_flops * cores))
+
+    # -- gray failures: limping -------------------------------------------------
+    @property
+    def limping(self) -> bool:
+        return self.limp_bw != 1.0 or self.limp_latency != 1.0
+
+    def set_limp(self, bw_factor: float = 1.0, latency_factor: float = 1.0) -> None:
+        """Degrade (or restore) this node's network path.
+
+        A limping node is alive and makes progress -- the defining gray
+        failure -- but its NIC runs at ``link_bw / bw_factor`` and every
+        message it touches pays ``latency_factor`` times the per-hop
+        latency/overhead.  ``set_limp(1.0, 1.0)`` reverts to healthy.
+        In-flight transfers keep accrued progress and continue at the
+        new rate.
+        """
+        if not self.alive:
+            raise NodeDownError(f"node {self.id} is down")
+        if bw_factor < 1.0 or latency_factor < 1.0:
+            raise ValueError("limp factors must be >= 1.0")
+        self.limp_bw = float(bw_factor)
+        self.limp_latency = float(latency_factor)
+        cap = self.spec.network.link_bw / self.limp_bw
+        self.nic_tx.set_capacity(cap)
+        self.nic_rx.set_capacity(cap)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "node.limp", "failure", node=self.id,
+                bw_factor=self.limp_bw, latency_factor=self.limp_latency,
+            )
+
+    def clear_limp(self) -> None:
+        """Restore full network health (no-op on a healthy node)."""
+        if self.limping:
+            self.set_limp(1.0, 1.0)
 
     # -- failure ------------------------------------------------------------
     def on_crash(self, callback: Callable[["Node", Any], None]) -> None:

@@ -50,6 +50,11 @@ class FmiConfig:
     #: replacement node before aborting the job.  None = wait forever
     #: (the paper: "fmirun waits until new nodes are allocated").
     replacement_timeout: Optional[float] = None
+    #: how long the detector sits on a partition-rooted disconnect
+    #: before acting on it: the suspicion is verified out-of-band
+    #: (fmirun's management network) and dropped if the suspect is
+    #: alive, preventing split-brain double recovery on a cut.
+    suspicion_grace: float = 0.5
 
     def __post_init__(self) -> None:
         if self.interval is not None and self.interval < 1:
@@ -69,3 +74,5 @@ class FmiConfig:
             raise ValueError("spare_nodes must be >= 0")
         if self.level2_every is not None and self.level2_every < 1:
             raise ValueError("level2_every must be >= 1")
+        if self.suspicion_grace <= 0:
+            raise ValueError("suspicion_grace must be positive")

@@ -13,14 +13,25 @@ receives such an event
 
 The cascade reaches every rank within ``ceil(ceil(log2 n)/2)`` hops
 (Figure 7); the measured notification times are Fig 13.
+
+Gray-failure hardening: a disconnect event whose root cause is a
+network partition (``partition:`` reason) is *not* proof of death --
+the peer is usually alive on the other side of the cut, and treating
+the event as a failure on both sides would trigger split-brain double
+recovery.  Such events only raise a *suspicion*; after a grace period
+the detector verifies the suspect out-of-band (fmirun's management
+network, which a compute-fabric partition does not touch) and either
+clears the suspicion or escalates it into a real notification.  When
+the partition heals, the detector re-establishes the overlay edges the
+cut destroyed, in the current epoch.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.net.endpoint import Connection, ConnectionManager
-from repro.net.overlay import hops_of_reason, logring_neighbors
+from repro.net.overlay import hops_of_reason, logring_neighbors, root_reason
 
 __all__ = ["LogRingDetector"]
 
@@ -35,14 +46,22 @@ class LogRingDetector:
         self.job = job
         self.cm = ConnectionManager(job.machine)
         self.k = job.config.logring_k
+        self.suspicion_grace = getattr(job.config, "suspicion_grace", 0.5)
         self._conns: Dict[int, List[Connection]] = {}
         self._joined_epoch: Dict[int, int] = {}
         self._cascaded: Dict[int, int] = {}  # rank -> last generation cascaded
         #: (rank, time, generation) notification record -- Fig 13's data
         self.notifications: List[Tuple[int, float, int]] = []
+        #: pending partition-rooted suspicions: (rank, peer) -> raised-at
+        self._suspected: Dict[Tuple[int, int], float] = {}
+        #: suspicions cleared because the suspect was alive (gray stats)
+        self.false_suspicions = 0
+        #: overlay edges re-established after partition heals
+        self.repaired_edges = 0
         # Registered after the ConnectionManager's own death listener, so
         # by the time _on_node_death runs the node's edges are closed.
         job.machine.on_node_death(self._on_node_death)
+        job.machine.fabric.on_heal(self._on_partition_heal)
 
     # -- membership -----------------------------------------------------------
     def connections_per_rank(self, n: int) -> int:
@@ -96,9 +115,15 @@ class LogRingDetector:
             peer_proc = self.job.rank_procs.get(peer)
             if peer_proc is None or not peer_proc.alive:
                 continue
-            conn = self.cm.connect(
-                (rank, epoch), fproc.node, (peer, epoch), peer_proc.node
-            )
+            try:
+                conn = self.cm.connect(
+                    (rank, epoch), fproc.node, (peer, epoch), peer_proc.node
+                )
+            except ConnectionError:
+                # The peer is behind an active partition cut: the edge
+                # cannot be established now; _on_partition_heal repairs
+                # it once the fabric reconnects.
+                continue
             conn.on_disconnect((rank, epoch), self._on_event)
             conn.on_disconnect((peer, epoch), self._on_event)
             self._conns[rank].append(conn)
@@ -117,6 +142,7 @@ class LogRingDetector:
             conn.close_silent()
             self._unlink(conn)
         self._joined_epoch.pop(rank, None)
+        self._clear_suspicions(rank, resolution="left")
 
     # -- death without node death ------------------------------------------------
     def process_died(self, rank: int, reason: str) -> None:
@@ -127,6 +153,7 @@ class LogRingDetector:
             conn.break_by_owner_death((rank, epoch), reason)
             self._unlink(conn)
         self._joined_epoch.pop(rank, None)
+        self._clear_suspicions(rank, resolution="dead")
 
     def _on_node_death(self, node, cause) -> None:
         """Purge the table entries of every rank that died with ``node``.
@@ -146,15 +173,31 @@ class LogRingDetector:
                 if not conn.open:
                     self._unlink(conn)
             self._joined_epoch.pop(rank, None)
+            self._clear_suspicions(rank, resolution="dead")
 
     # -- event handling -----------------------------------------------------------
     def _on_event(self, conn: Connection, key: Any, reason: str) -> None:
         rank, epoch = key
-        generation = epoch + 1  # a failure under epoch e leads to epoch e+1
         # The connection fired a disconnect event, so it is closed:
         # unlink it even when this endpoint is itself already dead (the
         # early return below) or the cascade was already run.
         self._unlink(conn)
+        fproc = self.job.rank_procs.get(rank)
+        if fproc is None or not fproc.alive:
+            return
+        if root_reason(reason).startswith("partition:"):
+            # A cut is not a death: both endpoints of the broken edge
+            # are (usually) alive, and acting on the event directly
+            # would start recovery on *both* sides of the partition.
+            peer_rank = conn.peer_of(key)[0]
+            self._suspect(rank, epoch, peer_rank, reason)
+            return
+        self._escalate(rank, epoch, reason)
+
+    def _escalate(self, rank: int, epoch: int, reason: str) -> None:
+        """A confirmed failure: cascade through the overlay and notify
+        this endpoint's process."""
+        generation = epoch + 1  # a failure under epoch e leads to epoch e+1
         fproc = self.job.rank_procs.get(rank)
         if fproc is None or not fproc.alive:
             return
@@ -176,3 +219,128 @@ class LogRingDetector:
             if sim.metrics.enabled:
                 sim.metrics.histogram("overlay.notify_hops").observe(hop)
         fproc.notify_failure(generation, reason)
+
+    # -- suspicion (partition-rooted events) ----------------------------------
+    def _suspect(self, rank: int, epoch: int, peer_rank: int, reason: str) -> None:
+        """``rank`` lost its edge to ``peer_rank`` through a partition
+        cut; hold the event as a suspicion and verify after a grace
+        period instead of acting on it."""
+        pair = (rank, peer_rank)
+        if pair in self._suspected:
+            return  # flapping link: one pending verification per pair
+        sim = self.job.sim
+        self._suspected[pair] = sim.now
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "overlay.suspect", "overlay", rank=rank,
+                peer=peer_rank, reason=reason,
+            )
+        timer = sim.timeout(self.suspicion_grace)
+        timer.callbacks.append(
+            lambda _e: self._verify(rank, epoch, peer_rank, reason)
+        )
+
+    def _verify(self, rank: int, epoch: int, peer_rank: int, reason: str) -> None:
+        """Grace period over: probe the suspect out-of-band.
+
+        The compute fabric may be partitioned but fmirun's management
+        network (PMGR, login node) is not, so the master can always
+        answer "is this process alive?".  Alive => false positive,
+        drop the suspicion.  Dead => escalate as a confirmed failure.
+        """
+        if self._suspected.pop((rank, peer_rank), None) is None:
+            return  # already resolved (heal, leave, or death)
+        fproc = self.job.rank_procs.get(rank)
+        if fproc is None or not fproc.alive:
+            return
+        sim = self.job.sim
+        peer_proc = self.job.rank_procs.get(peer_rank)
+        if peer_proc is not None and peer_proc.alive:
+            self.false_suspicions += 1
+            if sim.tracer.enabled:
+                sim.tracer.instant(
+                    "overlay.suspect.cleared", "overlay", rank=rank,
+                    peer=peer_rank, resolution="peer-alive",
+                )
+            return
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "overlay.suspect.cleared", "overlay", rank=rank,
+                peer=peer_rank, resolution="confirmed-dead",
+            )
+        self._escalate(rank, epoch, f"confirmed:{reason}")
+
+    def _clear_suspicions(self, rank: Optional[int] = None, resolution: str = "healed") -> None:
+        """Resolve pending suspicions involving ``rank`` (or all, when
+        ``rank`` is None).  The grace timer still fires but finds the
+        pair gone and does nothing."""
+        sim = self.job.sim
+        for pair in [p for p in self._suspected if rank is None or rank in p]:
+            self._suspected.pop(pair, None)
+            if sim.tracer.enabled:
+                sim.tracer.instant(
+                    "overlay.suspect.cleared", "overlay", rank=pair[0],
+                    peer=pair[1], resolution=resolution,
+                )
+
+    # -- partition heal: rejoin the overlay -----------------------------------
+    def _on_partition_heal(self, tag: str) -> None:
+        if self.job.finished:
+            return
+        self._clear_suspicions(resolution="healed")
+        self._repair()
+
+    def _has_open_edge(self, rank: int, peer: int) -> bool:
+        for conn in self._conns.get(rank, ()):
+            if conn.open and {key[0] for key in conn.ends} == {rank, peer}:
+                return True
+        return False
+
+    def _repair(self) -> None:
+        """Re-establish the overlay edges the partition destroyed.
+
+        Only pairs where both ranks are alive and joined in the
+        *current* epoch are rebuilt -- a healed partition rejoins the
+        current epoch's overlay, never a stale one.
+        """
+        job = self.job
+        epoch = job.epoch
+        members = []
+        for rank in sorted(self._joined_epoch):
+            if self._joined_epoch[rank] != epoch:
+                continue
+            rproc = job.rank_procs.get(rank)
+            if rproc is not None and rproc.alive:
+                members.append(rank)
+        joined = set(members)
+        n = job.num_ranks
+        sim = job.sim
+        # The cut's broken connections are still listed until their
+        # disconnect events fire (~the ibverbs close delay).  Purge
+        # them now, or the repaired edges would transiently push the
+        # table past its 2 x out-degree bound.
+        for rank in members:
+            for conn in [c for c in self._conns.get(rank, ()) if not c.open]:
+                self._unlink(conn)
+        for rank in members:
+            for peer in logring_neighbors(rank, n, self.k):
+                if peer not in joined or self._has_open_edge(rank, peer):
+                    continue
+                fproc = job.rank_procs[rank]
+                peer_proc = job.rank_procs[peer]
+                try:
+                    conn = self.cm.connect(
+                        (rank, epoch), fproc.node, (peer, epoch), peer_proc.node
+                    )
+                except ConnectionError:
+                    continue  # still unreachable (e.g. a new partition)
+                conn.on_disconnect((rank, epoch), self._on_event)
+                conn.on_disconnect((peer, epoch), self._on_event)
+                self._conns.setdefault(rank, []).append(conn)
+                self._conns.setdefault(peer, []).append(conn)
+                self.repaired_edges += 1
+                if sim.tracer.enabled:
+                    sim.tracer.instant(
+                        "overlay.repair", "overlay", rank=rank,
+                        epoch=epoch, peer=peer,
+                    )

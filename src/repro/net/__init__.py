@@ -19,6 +19,7 @@ Mirrors the split in the paper's implementation:
 """
 
 from repro.net.endpoint import Connection, ConnectionManager
+from repro.net.faults import LinkFaultModel
 from repro.net.matching import ANY_SOURCE, ANY_TAG, MatchingEngine
 from repro.net.message import Envelope
 from repro.net.overlay import (
@@ -27,6 +28,7 @@ from repro.net.overlay import (
     notification_hops,
     notification_schedule,
     ring_neighbors,
+    root_reason,
 )
 from repro.net.pmgr import PmgrRendezvous
 from repro.net.transport import NetContext, Transport
@@ -37,6 +39,7 @@ __all__ = [
     "Connection",
     "ConnectionManager",
     "Envelope",
+    "LinkFaultModel",
     "MatchingEngine",
     "NetContext",
     "PmgrRendezvous",
@@ -46,4 +49,5 @@ __all__ = [
     "notification_hops",
     "notification_schedule",
     "ring_neighbors",
+    "root_reason",
 ]

@@ -79,6 +79,19 @@ class Connection:
         if node.alive:
             self.mgr._notify(self, peer, reason, self.mgr.close_delay)
 
+    def break_by_partition(self, reason: str) -> None:
+        """A network partition cut this connection.  Unlike a death,
+        *both* endpoints are alive and both observe a disconnect event
+        (after the ibverbs close delay) -- the raw material of a
+        false-positive failure suspicion."""
+        if not self.open:
+            return
+        self.open = False
+        self.mgr._forget(self)
+        for key, node in self.nodes.items():
+            if node.alive:
+                self.mgr._notify(self, key, reason, self.mgr.close_delay)
+
     def _break_by_death(self, dead_node: Node, reason: str) -> None:
         """A node died; the surviving side learns after the ibverbs delay."""
         if not self.open:
@@ -107,6 +120,7 @@ class ConnectionManager:
         self._by_node: Dict[int, Dict[Connection, None]] = {}
         self._all: Dict[Connection, None] = {}
         machine.on_node_death(self._on_node_death)
+        machine.fabric.on_partition(self._on_partition)
 
     # -- establishment ----------------------------------------------------
     def connect(self, key_a: Any, node_a: Node, key_b: Any, node_b: Node) -> Connection:
@@ -115,6 +129,10 @@ class ConnectionManager:
         pipeline several establishments)."""
         if not (node_a.alive and node_b.alive):
             raise ConnectionError("cannot connect: endpoint node is down")
+        if not self.machine.fabric.reachable(node_a.id, node_b.id):
+            raise ConnectionError(
+                f"cannot connect: nodes {node_a.id} and {node_b.id} are partitioned"
+            )
         conn = Connection(self, key_a, node_a, key_b, node_b)
         self._all[conn] = None
         self._by_node.setdefault(node_a.id, {})[conn] = None
@@ -144,3 +162,13 @@ class ConnectionManager:
         conns: List[Connection] = list(self._by_node.get(node.id, ()))
         for conn in conns:
             conn._break_by_death(node, f"peer-death:{cause}")
+
+    def _on_partition(self, tag: str, component: Dict[int, int]) -> None:
+        """Break every connection whose endpoints now sit in different
+        partition components (establishment order, for determinism)."""
+        for conn in list(self._all):
+            key_a, key_b = conn.ends
+            nid_a = conn.nodes[key_a].id
+            nid_b = conn.nodes[key_b].id
+            if component.get(nid_a, 0) != component.get(nid_b, 0):
+                conn.break_by_partition(f"partition:{tag}")

@@ -31,6 +31,7 @@ __all__ = [
     "establishment_connections",
     "cascade_depth",
     "hops_of_reason",
+    "root_reason",
 ]
 
 _CASCADE_PREFIX = "cascade:"
@@ -49,6 +50,15 @@ def cascade_depth(reason: str) -> int:
         depth += 1
         reason = reason[len(_CASCADE_PREFIX):]
     return depth
+
+
+def root_reason(reason: str) -> str:
+    """The originating disconnect reason, with ``cascade:`` relays
+    stripped -- what classifies an event as death- vs partition-rooted
+    no matter how many hops it travelled."""
+    while reason.startswith(_CASCADE_PREFIX):
+        reason = reason[len(_CASCADE_PREFIX):]
+    return reason
 
 
 def hops_of_reason(reason: str) -> int:
@@ -145,10 +155,20 @@ def notification_hops(n: int, failed: int, k: int = 2, topology: str = "logring"
 
 
 def max_notification_hops_bound(n: int, k: int = 2) -> int:
-    """The paper's bound: ceil(ceil(log_k n) / 2) hops."""
+    """Worst-case notification hops for the log-ring.
+
+    For the paper's ``k=2`` this is its ceil(ceil(log2 n)/2) bound
+    (each hop covers two signed binary digits of the remaining ring
+    distance).  For ``k > 2`` that halving does not apply -- a hop
+    covers one signed base-``k`` digit via the ``(k-1)`` per-level
+    fingers -- so the bound is ceil(log_k n); the property suite
+    cross-validates both against BFS on the actual overlay.
+    """
     if n <= 2:
         return 1
-    return math.ceil(math.ceil(math.log(n, k)) / 2)
+    if k == 2:
+        return math.ceil(math.ceil(math.log2(n)) / 2)
+    return math.ceil(math.log(n, k))
 
 
 def notification_schedule(

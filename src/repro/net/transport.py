@@ -11,14 +11,28 @@ Epoch hygiene (Section IV-D): every envelope carries the sender's
 recovery epoch; delivery into a context with a newer epoch is silently
 dropped, so stale pre-failure messages can never satisfy a
 post-recovery receive.
+
+Gray failures ride the same delivery path:
+
+* **Partitions** -- the fabric (:mod:`repro.cluster.network`) says
+  which node pairs are cut.  A message arriving at a cut is either
+  *stalled* (parked until the partition heals, modelling switch
+  buffering plus link-layer retry) or *dropped* (the reliable layer
+  retransmits on a timeout until the link returns) depending on
+  ``partition_mode``.  Either way delivery is eventually exact-once.
+* **Omission** -- an attached :class:`~repro.net.faults.LinkFaultModel`
+  injects seeded per-message drop/duplicate/delay.  Drops cost
+  retransmission timeouts; duplicates are suppressed at the receiver
+  via the envelope's globally unique sequence number.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.machine import Machine
 from repro.cluster.node import Node
+from repro.net.faults import LinkFaultModel
 from repro.net.matching import make_engine
 from repro.net.message import Envelope
 from repro.simt.kernel import Event
@@ -46,6 +60,9 @@ class NetContext:
         self.closed = False
         #: stale envelopes dropped by the epoch filter
         self.stale_dropped = 0
+        #: sequence numbers already delivered (duplicate suppression;
+        #: only populated when a lossy link model has been attached)
+        self.delivered_seqs: Set[int] = set()
 
     @property
     def alive(self) -> bool:
@@ -58,6 +75,10 @@ class NetContext:
 
 class Transport:
     """Message movement between :class:`NetContext` instances."""
+
+    #: retransmission timeout for messages lost at a drop-mode
+    #: partition cut (no fault model required to be attached)
+    partition_rto = 0.05
 
     def __init__(self, machine: Machine, sw_overhead: Optional[float] = None):
         self.machine = machine
@@ -75,6 +96,32 @@ class Transport:
         self.dropped_dead = 0
         #: envelopes dropped by the epoch filter
         self.dropped_stale = 0
+        # -- gray-failure state --
+        #: attached link-fault model (None = clean links)
+        self.faults: Optional[LinkFaultModel] = None
+        #: sticky flag: once a fault model has ever been attached,
+        #: duplicate suppression stays armed (a detached model may
+        #: still have duplicates in flight)
+        self._lossy = False
+        #: what happens to a message arriving at a partition cut
+        self.partition_mode = "stall"  # or "drop"
+        #: envelopes parked at a cut, flushed in order on heal
+        self._stalled: List[Tuple[Envelope, int, Address, Optional[Event]]] = []
+        #: cut envelopes parked until heal (stall mode)
+        self.partition_stalls = 0
+        #: parked envelopes delivered by a heal
+        self.partition_flushed = 0
+        #: retransmission attempts burned at a cut (drop mode)
+        self.partition_retries = 0
+        #: transmission attempts lost to the omission model
+        self.omission_drops = 0
+        #: messages that picked up extra omission delay
+        self.omission_delays = 0
+        #: duplicate copies injected by the omission model
+        self.omission_dups = 0
+        #: duplicate copies suppressed at the receiver
+        self.dup_dropped = 0
+        machine.fabric.on_heal(self._on_heal)
 
     # -- registry ---------------------------------------------------------
     def create_context(self, node: Node, label: str = "") -> NetContext:
@@ -93,6 +140,16 @@ class Transport:
         """The registered context at ``addr`` regardless of liveness."""
         return self._registry.get(addr)
 
+    # -- link faults ----------------------------------------------------------
+    def set_faults(self, model: LinkFaultModel) -> None:
+        """Attach a lossy-link model (all subsequent sends consult it)."""
+        self.faults = model
+        self._lossy = True
+
+    def clear_faults(self) -> None:
+        """Detach the model; in-flight faults still play out."""
+        self.faults = None
+
     # -- data plane ----------------------------------------------------------
     def send(self, src: NetContext, dst_addr: Address, env: Envelope) -> Event:
         """Send ``env`` from ``src`` to the context at ``dst_addr``.
@@ -103,13 +160,19 @@ class Transport:
         node is down.
         """
         dst_node = self.machine.node(dst_addr[0])
-        wire = self.machine.fabric.send(
+        fabric = self.machine.fabric
+        wire = fabric.send(
             src.node, dst_node, env.nbytes, sw_overhead=self.sw_overhead
         )
         done = Event(self.sim)
         tracer = self.sim.tracer
         metrics = self.sim.metrics
-        if not tracer.enabled and not metrics.enabled:
+        src_nid = src.node.id
+        if (
+            self.faults is None
+            and not tracer.enabled
+            and not metrics.enabled
+        ):
             # No-observability fast path: identical delivery semantics
             # and event ordering, but no outcome labels, no label-dict
             # construction, and no per-message metric lookups.
@@ -120,13 +183,22 @@ class Transport:
                     if not done.triggered:
                         done.fail(evt._value)
                     return
+                if fabric._partition is not None and not fabric.reachable(
+                    src_nid, dst_addr[0]
+                ):
+                    self._cut(env, src_nid, dst_addr, done)
+                    return
                 ctx = registry.get(dst_addr)
                 if ctx is None or ctx.closed or not ctx.node.alive:
                     self.dropped_dead += 1
                 elif env.epoch < ctx.epoch:
                     self.dropped_stale += 1
                     ctx.stale_dropped += 1
+                elif self._lossy and env.seq in ctx.delivered_seqs:
+                    self.dup_dropped += 1
                 else:
+                    if self._lossy:
+                        ctx.delivered_seqs.add(env.seq)
                     ctx.matching.deliver(env)
                 if not done.triggered:
                     done.succeed(None)
@@ -135,44 +207,144 @@ class Transport:
             return done
         if tracer.enabled:
             tracer.instant(
-                "net.send", "net", rank=env.src, node=src.node.id,
+                "net.send", "net", rank=env.src, node=src_nid,
                 epoch=env.epoch, dst=env.dst, dst_node=dst_addr[0],
                 nbytes=env.nbytes, tag=env.tag,
             )
         if metrics.enabled:
-            metrics.counter("net.msgs_sent", node=src.node.id).inc()
-            metrics.counter("net.bytes_sent", node=src.node.id).inc(env.nbytes)
+            metrics.counter("net.msgs_sent", node=src_nid).inc()
+            metrics.counter("net.bytes_sent", node=src_nid).inc(env.nbytes)
+
+        # Draw this message's fault plan up front (one seeded draw per
+        # message keeps replays byte-identical).
+        faults = self.faults
+        plan = None
+        if faults is not None:
+            plan = faults.plan(src_nid, dst_addr[0])
+            if plan.clean:
+                plan = None
+            else:
+                self.omission_drops += plan.drops
+                if plan.delay:
+                    self.omission_delays += 1
+                if plan.duplicate:
+                    self.omission_dups += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "net.omission", "net", rank=env.src, node=src_nid,
+                        epoch=env.epoch, dst=env.dst, drops=plan.drops,
+                        delay=plan.delay, dup=plan.duplicate,
+                    )
 
         def on_arrival(evt: Event) -> None:
             if not evt._ok:
                 if not done.triggered:
                     done.fail(evt._value)
                 return
-            ctx = self.lookup(dst_addr)
-            if ctx is None:
-                self.dropped_dead += 1
-                outcome = "net.drop_dead"
-            elif env.epoch < ctx.epoch:
-                self.dropped_stale += 1
-                ctx.stale_dropped += 1
-                outcome = "net.drop_stale"
-            else:
-                ctx.matching.deliver(env)
-                outcome = "net.recv"
-            if tracer.enabled:
-                # ctx_epoch lets post-hoc checkers re-verify the epoch
-                # filter: a net.recv with env.epoch < ctx_epoch would be
-                # a stale delivery.
-                extra = {} if ctx is None else {"ctx_epoch": ctx.epoch}
-                tracer.instant(
-                    outcome, "net", rank=env.dst, node=dst_addr[0],
-                    epoch=env.epoch, src=env.src, nbytes=env.nbytes,
-                    tag=env.tag, **extra,
+            if plan is None:
+                self._arrive(env, src_nid, dst_addr, done)
+                return
+            extra = plan.drops * faults.rto + plan.delay
+            if extra > 0:
+                timer = self.sim.timeout(extra)
+                timer.callbacks.append(
+                    lambda _e: self._arrive(env, src_nid, dst_addr, done)
                 )
-            if metrics.enabled:
-                metrics.counter(outcome, node=dst_addr[0]).inc()
-            if not done.triggered:
-                done.succeed(None)
+            else:
+                self._arrive(env, src_nid, dst_addr, done)
+            if plan.duplicate:
+                dup_timer = self.sim.timeout(extra + faults.dup_lag)
+                dup_timer.callbacks.append(
+                    lambda _e: self._arrive(env, src_nid, dst_addr, None)
+                )
 
         wire.callbacks.append(on_arrival)
         return done
+
+    # -- delivery ------------------------------------------------------------
+    def _arrive(
+        self,
+        env: Envelope,
+        src_nid: int,
+        dst_addr: Address,
+        done: Optional[Event],
+    ) -> None:
+        """Final delivery step: partition cut, liveness, epoch filter,
+        duplicate suppression -- in that order."""
+        fabric = self.machine.fabric
+        if fabric._partition is not None and not fabric.reachable(
+            src_nid, dst_addr[0]
+        ):
+            self._cut(env, src_nid, dst_addr, done)
+            return
+        tracer = self.sim.tracer
+        metrics = self.sim.metrics
+        ctx = self.lookup(dst_addr)
+        if ctx is None:
+            self.dropped_dead += 1
+            outcome = "net.drop_dead"
+        elif env.epoch < ctx.epoch:
+            self.dropped_stale += 1
+            ctx.stale_dropped += 1
+            outcome = "net.drop_stale"
+        elif self._lossy and env.seq in ctx.delivered_seqs:
+            self.dup_dropped += 1
+            outcome = "net.drop_dup"
+        else:
+            if self._lossy:
+                ctx.delivered_seqs.add(env.seq)
+            ctx.matching.deliver(env)
+            outcome = "net.recv"
+        if tracer.enabled:
+            # ctx_epoch lets post-hoc checkers re-verify the epoch
+            # filter: a net.recv with env.epoch < ctx_epoch would be
+            # a stale delivery.
+            extra = {} if ctx is None else {"ctx_epoch": ctx.epoch}
+            tracer.instant(
+                outcome, "net", rank=env.dst, node=dst_addr[0],
+                epoch=env.epoch, src=env.src, nbytes=env.nbytes,
+                tag=env.tag, **extra,
+            )
+        if metrics.enabled:
+            metrics.counter(outcome, node=dst_addr[0]).inc()
+        if done is not None and not done.triggered:
+            done.succeed(None)
+
+    def _cut(
+        self,
+        env: Envelope,
+        src_nid: int,
+        dst_addr: Address,
+        done: Optional[Event],
+    ) -> None:
+        """The message hit a partition cut.
+
+        ``stall`` parks it until the fabric heals (switch buffering +
+        link-layer retry); ``drop`` loses the bytes and retransmits
+        every ``partition_rto`` until the link is back.  Both converge
+        to exact-once delivery once the partition heals.
+        """
+        if self.partition_mode == "stall":
+            self.partition_stalls += 1
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "net.partition_stall", "net", rank=env.dst,
+                    node=dst_addr[0], epoch=env.epoch, src=env.src,
+                    tag=env.tag,
+                )
+            self._stalled.append((env, src_nid, dst_addr, done))
+            return
+        self.partition_retries += 1
+        timer = self.sim.timeout(self.partition_rto)
+        timer.callbacks.append(
+            lambda _e: self._arrive(env, src_nid, dst_addr, done)
+        )
+
+    def _on_heal(self, tag: str) -> None:
+        """Flush envelopes parked at the (now healed) cut, in order."""
+        if not self._stalled:
+            return
+        stalled, self._stalled = self._stalled, []
+        self.partition_flushed += len(stalled)
+        for env, src_nid, dst_addr, done in stalled:
+            self._arrive(env, src_nid, dst_addr, done)

@@ -153,6 +153,20 @@ class BandwidthResource:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change the pipe's capacity mid-simulation (limping links).
+
+        In-flight flows keep the progress accrued at the old rate and
+        continue at the new one; completion timers are recomputed.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if capacity == self.capacity:
+            return
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
     def time_for(self, nbytes: float) -> float:
         """Uncontended transfer time for ``nbytes`` (planning helper)."""
         return nbytes / self.capacity

@@ -11,22 +11,30 @@ import pytest
 
 from repro.chaos import (
     CAMPAIGNS,
+    GRAY_CAMPAIGNS,
     AtTime,
     ChaosEngine,
     DrainSlot,
+    HealPartition,
     KillRank,
     KillSlot,
+    LimpSlot,
+    Omission,
+    OmissionOff,
     OnEvent,
+    Partition,
     RandomTimes,
     Rule,
     Scenario,
     check_answer,
     check_epoch_monotone,
+    check_no_split_brain,
     check_no_stale_delivery,
+    check_suspicion_resolved,
     run_campaign,
 )
 from repro.cluster.failures import EventInjector
-from repro.obs import Tracer
+from repro.obs import Tracer, write_jsonl
 from repro.simt import Simulator
 
 
@@ -169,6 +177,125 @@ def test_drain_refusal_is_recorded():
     assert job.finished
 
 
+# ------------------------------------------------------ gray-failure actions
+def test_partition_action_cuts_and_heals_on_schedule():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(AtTime(1.0), Partition(groups=((0, 1), (2, 3)), heal_after=0.5)),
+    ]))
+    observed = []
+
+    def probe():
+        yield sim.timeout(1.1)
+        observed.append(machine.fabric.partitioned)
+        yield sim.timeout(0.5)  # t=1.6 > heal at 1.5
+        observed.append(machine.fabric.partitioned)
+
+    sim.spawn(probe())
+    sim.run(until=done)
+    assert observed == [True, False]
+    descs = [d for _t, d in engine.injected]
+    assert any(d.startswith("partition ") for d in descs)
+    assert any(d.startswith("heal partition") for d in descs)
+    assert job.finished and job.epoch == 0
+
+
+def test_second_partition_is_refused():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(AtTime(1.0), Partition(groups=((0, 1), (2, 3)), heal_after=2.0)),
+        Rule(AtTime(1.2), Partition(groups=((0,), (1, 2, 3)))),
+    ]))
+    sim.run(until=done)
+    descs = [d for _t, d in engine.injected]
+    assert "partition: refused (already partitioned)" in descs
+
+
+def test_heal_without_partition_is_recorded_as_noop():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [Rule(AtTime(1.0), HealPartition())]))
+    sim.run(until=done)
+    assert ("heal: no active partition") in [d for _t, d in engine.injected]
+
+
+def test_omission_attach_detach_records():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job, machine.rng.stream("chaos"))
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        Rule(AtTime(1.0), Omission(drop_p=0.05, duration=1.0)),
+        Rule(AtTime(0.5), OmissionOff()),  # before attach: no-op record
+    ]))
+    sim.run(until=done)
+    descs = [d for _t, d in engine.injected]
+    assert "omission off: no model attached" in descs
+    assert any(d.startswith("omission on") for d in descs)
+    assert any(d == "omission off (scheduled)" for d in descs)
+    assert job.finished and job.transport.faults is None
+
+
+def test_omission_without_rng_raises():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)  # no rng
+    job.launch()
+    with pytest.raises(ValueError, match="rng"):
+        engine._fire(Omission(drop_p=0.1))
+
+
+def test_limp_on_dead_node_is_refused():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    engine.arm(Scenario("t", [
+        # Same instant: the slot's node is dead but not yet replaced
+        # by a spare, so the limp must be refused, not applied to a
+        # corpse.  (A later limp lands on the replacement node -- slot
+        # actions always resolve the *current* holder.)
+        Rule(AtTime(1.0), KillSlot(2)),
+        Rule(AtTime(1.0), LimpSlot(2, bw_factor=8.0)),
+    ]))
+    sim.run(until=done)
+    descs = [d for _t, d in engine.injected]
+    assert any(d.startswith("limp slot 2: refused") for d in descs)
+
+
+def test_limp_auto_reverts_after_duration():
+    sim, machine, job = _tiny_job()
+    Tracer(sim)
+    engine = ChaosEngine(job)
+    done = job.launch()
+    node = job.fmirun.node_slots[1]
+    engine.arm(Scenario("t", [
+        Rule(AtTime(1.0), LimpSlot(1, bw_factor=8.0, duration=0.5)),
+    ]))
+    observed = []
+
+    def probe():
+        yield sim.timeout(1.2)
+        observed.append(node.limping)
+        yield sim.timeout(0.5)
+        observed.append(node.limping)
+
+    sim.spawn(probe())
+    sim.run(until=done)
+    assert observed == [True, False]
+    assert any(
+        d.startswith("unlimp node") for _t, d in engine.injected
+    )
+
+
 # ------------------------------------------------------- invariant checkers
 class _FakeEvent:
     def __init__(self, name, rank=0, epoch=0, incarnation=0, ts=0.0, args=()):
@@ -213,6 +340,45 @@ def test_stale_delivery_checker():
     assert "epoch-1" in violations[0].detail
 
 
+def test_split_brain_checker_flags_unconfirmed_partition_notify():
+    bad = _FakeTracer([
+        _FakeEvent("fmi.notify", rank=2,
+                   args={"reason": "cascade:partition:p1"}),
+    ])
+    violations = check_no_split_brain(bad)
+    assert any("unconfirmed partition" in v.detail for v in violations)
+    ok = _FakeTracer([
+        _FakeEvent("node.crash"),
+        _FakeEvent("recovery.begin"),
+        _FakeEvent("fmi.notify", rank=2,
+                   args={"reason": "confirmed:partition:p1"}),
+    ])
+    assert check_no_split_brain(ok) == []
+
+
+def test_split_brain_checker_counts_recoveries_vs_deaths():
+    double = _FakeTracer([
+        _FakeEvent("node.crash"),
+        _FakeEvent("recovery.begin"),
+        _FakeEvent("recovery.begin"),  # both sides of a cut recovered
+    ])
+    violations = check_no_split_brain(double)
+    assert len(violations) == 1
+    assert "2 recovery epoch(s)" in violations[0].detail
+
+
+def test_suspicion_checker_requires_resolution():
+    leaked = _FakeTracer([
+        _FakeEvent("overlay.suspect", rank=1, args={"peer": 5}),
+        _FakeEvent("overlay.suspect", rank=5, args={"peer": 1}),
+        _FakeEvent("overlay.suspect.cleared", rank=1,
+                   args={"peer": 5, "resolution": "peer-alive"}),
+    ])
+    violations = check_suspicion_resolved(leaked)
+    assert len(violations) == 1
+    assert "rank 5's suspicion of rank 1" in violations[0].detail
+
+
 def test_answer_checker_is_bit_exact():
     ref = [np.arange(4.0), np.ones(4)]
     assert check_answer([ref[0].copy(), ref[1].copy()], ref) == []
@@ -241,6 +407,21 @@ def test_campaign_replay_is_deterministic():
     assert [ev.ts for ev in a.tracer.events] == [
         ev.ts for ev in b.tracer.events
     ]
+
+
+@pytest.mark.parametrize("name", sorted(GRAY_CAMPAIGNS))
+def test_gray_campaign_trace_replays_byte_identical(name, tmp_path):
+    """Same (campaign, seed) -> byte-identical trace JSONL, for every
+    new gray chaos action (partition/heal, omission, limp)."""
+    a = run_campaign(name, seed=2, keep_trace=True)
+    b = run_campaign(name, seed=2, keep_trace=True)
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    write_jsonl(a.tracer.events, path_a)
+    write_jsonl(b.tracer.events, path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+    assert path_a.stat().st_size > 0
+    assert a.injected == b.injected
 
 
 def test_unknown_campaign_rejected():

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) of the log-ring overlay math.
+
+Three properties the failure detector's correctness rests on, checked
+for arbitrary ``(n, k)``:
+
+* **edge mirror symmetry** -- the closed-form incoming-edge computation
+  in ``LogRingDetector.join`` (``rank - offset`` for each outgoing
+  offset) must agree with the ground truth O(n) scan "who lists me as
+  an outgoing neighbour"; an asymmetry would leave half-registered
+  edges whose disconnect events only one side hears.
+* **connectivity** -- the undirected overlay is a single component, so
+  a cascade started anywhere reaches everyone.
+* **hop bound** -- BFS notification hops never exceed
+  ``max_notification_hops_bound``: the paper's ceil(ceil(log2 n)/2)
+  for k=2, ceil(log_k n) for higher bases.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.overlay import (
+    logring_neighbors,
+    max_notification_hops_bound,
+    notification_hops,
+    undirected_neighbors,
+)
+
+nk = {"n": st.integers(1, 300), "k": st.integers(2, 8)}
+
+
+def incoming_by_scan(rank, n, k):
+    """Ground truth: every rank whose outgoing list contains ``rank``."""
+    return {p for p in range(n) if p != rank and rank in logring_neighbors(p, n, k)}
+
+
+def incoming_closed_form(rank, n, k):
+    """The detector's O(log n) mirror computation, verbatim."""
+    out = logring_neighbors(rank, n, k)
+    offsets = [(peer - rank) % n for peer in out]
+    return {(rank - off) % n for off in offsets} - {rank}
+
+
+# ------------------------------------------------------- mirror symmetry
+@settings(max_examples=150, deadline=None)
+@given(**nk, rank=st.integers(0, 10**6))
+def test_incoming_edges_mirror_outgoing(n, k, rank):
+    rank %= n
+    assert incoming_closed_form(rank, n, k) == incoming_by_scan(rank, n, k)
+
+
+@settings(max_examples=100, deadline=None)
+@given(**nk)
+def test_every_edge_is_known_to_both_ends(n, k):
+    """a lists b (in or out) iff b lists a -- the join-time registration
+    of disconnect callbacks on both endpoints depends on it."""
+    full = {
+        r: set(logring_neighbors(r, n, k)) | incoming_closed_form(r, n, k)
+        for r in range(n)
+    }
+    for r, peers in full.items():
+        for p in peers:
+            assert r in full[p]
+
+
+@settings(max_examples=100, deadline=None)
+@given(**nk)
+def test_out_degree_is_logarithmic(n, k):
+    """Out-degree never exceeds (k-1) * ceil(log_k n) -- the detector's
+    2x table bound builds on this."""
+    import math
+
+    cap = (k - 1) * max(1, math.ceil(math.log(n, k))) if n > 1 else 0
+    for r in range(n):
+        assert len(logring_neighbors(r, n, k)) <= cap
+
+
+# ----------------------------------------------------------- connectivity
+@settings(max_examples=100, deadline=None)
+@given(**nk)
+def test_overlay_is_connected(n, k):
+    adj = undirected_neighbors(n, k)
+    seen = {0}
+    frontier = deque([0])
+    while frontier:
+        for peer in adj[frontier.popleft()]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    assert seen == set(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(**nk, failed=st.integers(0, 10**6))
+def test_every_survivor_is_notified(n, k, failed):
+    failed %= n
+    hops = notification_hops(n, failed, k)
+    assert set(hops) == set(range(n)) - {failed}
+
+
+# -------------------------------------------------------------- hop bound
+@settings(max_examples=150, deadline=None)
+@given(**nk, failed=st.integers(0, 10**6))
+def test_cascade_hops_within_bound(n, k, failed):
+    if n < 2:
+        return
+    failed %= n
+    hops = notification_hops(n, failed, k)
+    assert max(hops.values()) <= max_notification_hops_bound(n, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(3, 4096))
+def test_k2_bound_matches_paper_formula(n):
+    import math
+
+    assert max_notification_hops_bound(n, 2) == math.ceil(
+        math.ceil(math.log2(n)) / 2
+    )
+
+
+def test_k2_bound_is_tight_at_figure7_scale():
+    # n=16: every rank hears within 2 hops, and 2 hops are needed.
+    hops = notification_hops(16, 0, 2)
+    assert max(hops.values()) == 2 == max_notification_hops_bound(16, 2)
