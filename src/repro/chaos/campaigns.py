@@ -37,6 +37,15 @@ Gray-failure campaigns (nothing needs to die for these to hurt):
   link for the whole run, plus one mid-run node kill.
 * ``limping-node`` -- one node limps (degraded NIC), a *different* node
   dies; the limping node must not be falsely suspected.
+
+Message-logging (partial rollback) campaigns -- the same kills, run on
+``recovery="logged"``; survivors must keep computing while only the
+restarted slot rolls back, and the answer must stay bit-equal:
+
+* ``logged-single-kill`` -- one random slot dies mid-run.
+* ``logged-sequential-kills`` -- a second slot dies after the first
+  recovery's log replay completed, exercising log GC and re-logging
+  across epochs.
 """
 
 from __future__ import annotations
@@ -60,7 +69,7 @@ from repro.chaos.scenario import (
 )
 from repro.fmi.config import FmiConfig
 
-__all__ = ["Campaign", "CAMPAIGNS", "GRAY_CAMPAIGNS"]
+__all__ = ["Campaign", "CAMPAIGNS", "GRAY_CAMPAIGNS", "LOGGED_CAMPAIGNS"]
 
 RulesFn = Callable[[np.random.Generator, "Campaign"], List[Rule]]
 
@@ -220,6 +229,25 @@ def _limping_node_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
     ]
 
 
+def _logged_single_kill_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    t0 = float(rng.uniform(1.5, 3.5))
+    return [Rule(AtTime(t0), KillRandomSlot())]
+
+
+def _logged_sequential_kills_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # The second kill waits for the first recovery's replay to finish
+    # (one mlog.replay.done per restarted rank), so the restarted
+    # slot's fresh log entries and the survivors' GC'd logs both feed
+    # the second partial rollback.
+    t0 = float(rng.uniform(1.5, 2.5))
+    delay = float(rng.uniform(0.1, 0.8))
+    return [
+        Rule(AtTime(t0), KillRandomSlot()),
+        Rule(OnEvent("mlog.replay.done", count=c.ppn, delay=delay),
+             KillRandomSlot()),
+    ]
+
+
 # ------------------------------------------------------------------ registry
 CAMPAIGNS: Dict[str, Campaign] = {
     c.name: c
@@ -292,6 +320,19 @@ CAMPAIGNS: Dict[str, Campaign] = {
             pool_extra=3,
             config_extra={"level2_every": 1},
         ),
+        Campaign(
+            "logged-single-kill",
+            "partial rollback: one slot dies, survivors replay its logs",
+            _logged_single_kill_rules,
+            config_extra={"recovery": "logged"},
+        ),
+        Campaign(
+            "logged-sequential-kills",
+            "partial rollback: second kill after the first replay",
+            _logged_sequential_kills_rules,
+            pool_extra=3,
+            config_extra={"recovery": "logged"},
+        ),
     ]
 }
 
@@ -302,4 +343,10 @@ GRAY_CAMPAIGNS: List[str] = [
     "flapping-partition",
     "lossy-links",
     "limping-node",
+]
+
+#: names of the message-logging campaigns (the CI recovery-ablation set)
+LOGGED_CAMPAIGNS: List[str] = [
+    "logged-single-kill",
+    "logged-sequential-kills",
 ]

@@ -52,7 +52,7 @@ __all__ = [
     "check_epoch_monotone", "check_no_stale_delivery",
     "check_posted_receives", "check_detector_bounded", "check_answer",
     "check_no_split_brain", "check_suspicion_resolved",
-    "check_link_accounting",
+    "check_link_accounting", "check_no_orphans",
     "check_all",
 ]
 
@@ -108,6 +108,62 @@ def check_no_stale_delivery(tracer) -> List[Violation]:
                 f"rank {ev.rank} received an epoch-{ev.epoch} envelope "
                 f"in an epoch-{ctx_epoch} context at t={ev.ts:.6g}",
             ))
+    return out
+
+
+def check_no_orphans(tracer) -> List[Violation]:
+    """Partial rollback never leaves an orphan receive behind.
+
+    An *orphan* is a process whose state depends on a message its
+    sender's rollback "unsent" and that the system can no longer
+    account for.  Under sender-based logging the accounting obligation
+    is: every logged channel message ``(src, dst, n)`` whose sender
+    later rewound past it (the rewind's channel counter is <= n, which
+    truncates the log entry) must be logged *again* after that rewind
+    -- piecewise-deterministic re-execution regenerated the identical
+    send, and the receiver's lseq filter deduplicates the copy.
+    No-op for runs without mlog events (global recovery plane).
+    """
+    # (src, dst, n) -> send-log timestamps, in trace order
+    log_times: Dict[tuple, List[float]] = {}
+    # (src, dst, n) -> delivered at least once
+    delivered: set = set()
+    # sender rewinds: (ts, rank, {dst: counter})
+    rewinds: List[tuple] = []
+    for ev in tracer.events:
+        if ev.name == "mlog.log":
+            key = (ev.rank, ev.args.get("dst"), ev.args.get("n"))
+            log_times.setdefault(key, []).append(ev.ts)
+        elif ev.name == "mlog.rewind":
+            counters = {
+                int(d): n for d, n in ev.args.get("counters", {}).items()
+            }
+            rewinds.append((ev.ts, ev.rank, counters))
+        elif ev.name == "net.recv":
+            lseq = ev.args.get("lseq")
+            if lseq is not None:
+                delivered.add(tuple(lseq))
+    if not rewinds:
+        return []
+    out: List[Violation] = []
+    for key in delivered:
+        times = log_times.get(key)
+        if not times:
+            continue  # never logged: an intra-unit channel
+        src, dst, n = key
+        for ts, rank, counters in rewinds:
+            if rank != src or n < counters.get(dst, 0):
+                continue  # not this sender / survived the rewind
+            if not any(t < ts for t in times):
+                continue  # first logged after this rewind
+            if not any(t > ts for t in times):
+                out.append(Violation(
+                    "no-orphans",
+                    f"message ({src}->{dst}, n={n}) was delivered, then "
+                    f"rolled back by rank {src}'s rewind at t={ts:.6g}, "
+                    f"and never re-logged: the receiver's state is an "
+                    f"orphan of an unsent message",
+                ))
     return out
 
 
@@ -332,6 +388,7 @@ def check_all(
     out += check_no_stale_delivery(tracer)
     out += check_no_split_brain(tracer)
     out += check_suspicion_resolved(tracer)
+    out += check_no_orphans(tracer)
     out += check_posted_receives(job)
     out += check_link_accounting(job)
     if monitor is not None:

@@ -12,6 +12,9 @@ Public surface:
   checkpoint interval or MTBF-driven auto-tuning, log-ring base k.
 * :mod:`~repro.fmi.checkpoint` -- the in-memory XOR checkpoint engine.
 * :mod:`~repro.fmi.detector` -- the log-ring failure detector.
+* :mod:`~repro.fmi.msglog` -- the message-logging recovery plane
+  behind ``FmiConfig(recovery="logged")`` (partial rollback: sender
+  payload logs, receiver determinants, survivor replay).
 
 A minimal FMI application::
 
@@ -43,6 +46,10 @@ def __getattr__(name):
         from repro.fmi.job import FmiJob
 
         return FmiJob
+    if name == "RecoveryPlane":
+        from repro.fmi.msglog import RecoveryPlane
+
+        return RecoveryPlane
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -52,5 +59,6 @@ __all__ = [
     "FmiContext",
     "FmiJob",
     "Payload",
+    "RecoveryPlane",
     "UnrecoverableFailure",
 ]

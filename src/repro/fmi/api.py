@@ -74,6 +74,28 @@ class FmiContext(ParallelApi):
     def _route(self, world_rank: int) -> Tuple[int, int]:
         return self.fmi_job.addr_table[world_rank]
 
+    def _stamp(self, env, dst_world: int) -> None:
+        plane = self.fmi_job.recovery_plane
+        if plane is not None:
+            plane.on_send(self.world_rank, dst_world, env)
+
+    def _post_recv(self, comm: Communicator, source: int, tag: int):
+        plane = self.fmi_job.recovery_plane
+        if plane is not None and (
+            source == self.ANY_SOURCE or tag == self.ANY_TAG
+        ):
+            # Piecewise-deterministic replay: a re-executed wildcard
+            # receive is rewritten to the *exact* (source, tag) its
+            # original execution matched, in recorded order, until the
+            # determinant cursor reaches the failure point.
+            det = plane.next_determinant(self.world_rank, source, tag, comm.id)
+            if det is not None:
+                self._check_ok()
+                evt = self.ctx.matching.post(det.env_src, det.env_tag, comm.id)
+                plane.check_replayed_match(evt, det, self.world_rank)
+                return evt
+        return super()._post_recv(comm, source, tag)
+
     # -- the programming model (Figure 3) ------------------------------------------
     def init(self):
         """``FMI_Init``.  The heavy lifting (PMGR bootstrap, log-ring
@@ -101,12 +123,18 @@ class FmiContext(ParallelApi):
         """
         self._check_ok()
         rs = self.fproc.rank_state
+        plane = self.fmi_job.recovery_plane
         if rs.restore_pending:
             rs.restore_pending = False
-            restored = yield from self.engine.restore(
-                world_agree=self._agree_min,
-                allow_beyond_xor=self.l2store is not None,
-            )
+            if plane is not None:
+                # Partial rollback: sidecar rebuild + log replay; no
+                # world agreement, survivors never enter this branch.
+                restored = yield from plane.partial_restore(self)
+            else:
+                restored = yield from self.engine.restore(
+                    world_agree=self._agree_min,
+                    allow_beyond_xor=self.l2store is not None,
+                )
             if restored == "beyond-xor":
                 restored = yield from self._restore_from_level2()
             if restored is not None:
@@ -136,6 +164,8 @@ class FmiContext(ParallelApi):
             rs.policy.record_checkpoint(self.now, self.now - t0)
             rs.last_ckpt_loop = rs.loop_id
             self.fmi_job.checkpoints_done += 1
+            if plane is not None:
+                plane.note_rank_checkpoint(self.world_rank, rs.loop_id)
             if (
                 self.l2store is not None
                 and rs.loop_id >= self.fmi_job.next_l2_at

@@ -504,6 +504,78 @@ class CheckpointEngine:
         raw = yield from self.storage.load_meta(_meta_key(dataset))
         return CheckpointDataset.from_dict(raw["group"][str(self.comm.rank)])
 
+    # ------------------------------------------------ partial (logged) rebuild
+    def rebuild_missing(self, missing: List[int]):
+        """Sidecar rebuild for the message-logging recovery plane.
+
+        Unlike :meth:`restore`, survivors are **not** rolled back: no
+        world agreement, no pruning of newer datasets, and survivor
+        storages are read-only except for the rebuilt members'.  The
+        members in ``missing`` (group positions) receive the newest
+        dataset common to every survivor; survivors assist exactly as
+        in a global restore and keep their running state untouched.
+
+        Returns ``(meta, payloads)`` on a rebuilt member, the dataset
+        id on a survivor, or ``None`` on a group-wide cold start (no
+        survivor has checkpointed yet -- the caller replays the full
+        log from scratch).  Raises :class:`UnrecoverableFailure` when
+        the scheme cannot repair ``missing``, or when the survivors
+        hold no common complete dataset.
+        """
+        n = self.comm.size
+        me = self.comm.rank
+        missing = sorted(missing)
+        mine = self.completed_ids()
+        entries = yield from self.comm.allgather(list(mine), nbytes=16.0)
+        survivor_sets = [
+            set(ids) for pos, ids in enumerate(entries) if pos not in missing
+        ]
+        common = set.intersection(*survivor_sets) if survivor_sets else set()
+        if not common:
+            if any(survivor_sets):
+                raise UnrecoverableFailure(
+                    f"{self.scheme.name} group survivors hold no common "
+                    f"dataset (partial rollback cannot proceed)"
+                )
+            return None  # nobody has checkpointed yet: cold start
+        if not self.scheme.can_repair(missing, n):
+            raise UnrecoverableFailure(
+                f"{self.scheme.name} group beyond repair for partial "
+                f"rollback ({len(missing)} members lost)"
+            )
+        dataset = max(common)
+        if me not in missing and dataset not in mine:
+            raise UnrecoverableFailure(
+                f"agreed dataset {dataset} not held locally (have {mine})"
+            )
+        blob: Optional[Payload] = None
+        meta: Optional[CheckpointDataset] = None
+        for f in missing:
+            t_rebuild = self.sim.now
+            if me == f:
+                blob, redundancy, group_meta = (
+                    yield from self.scheme.rebuild_replacement(f, dataset)
+                )
+                if self.sim.tracer.enabled:
+                    self._trace_span("ckpt.rebuild", t_rebuild,
+                                     dataset=dataset, role="replacement")
+                yield from self.storage.store(_blob_key(dataset), blob)
+                if redundancy is not None:
+                    yield from self.storage.store(
+                        self.scheme.redundancy_key(dataset), redundancy
+                    )
+                yield from self.storage.store_meta(_meta_key(dataset), group_meta)
+                yield from self._store_completed([dataset])
+                meta = CheckpointDataset.from_dict(group_meta["group"][str(f)])
+            else:
+                assisted = yield from self.scheme.assist_rebuild(f, dataset)
+                if assisted is not None and self.sim.tracer.enabled:
+                    self._trace_span("ckpt.rebuild", t_rebuild,
+                                     dataset=dataset, role="survivor")
+        if me in missing:
+            return meta, _slice(blob, meta)
+        return dataset
+
 
 class XorCheckpointEngine(CheckpointEngine):
     """The seed engine's name: a :class:`CheckpointEngine` pinned to

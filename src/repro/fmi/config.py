@@ -5,7 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FmiConfig"]
+__all__ = ["FmiConfig", "RECOVERY_MODES", "check_recovery_mode"]
+
+#: recovery-plane selection: "global" rolls every rank back to the last
+#: coordinated checkpoint; "logged" replays sender-based message logs
+#: into only the restarted ranks (partial rollback)
+RECOVERY_MODES = ("global", "logged")
+
+
+def check_recovery_mode(name: str) -> str:
+    """Validate a recovery-plane name; returns it unchanged."""
+    if name not in RECOVERY_MODES:
+        raise ValueError(
+            f"unknown recovery mode {name!r} "
+            f"(choose from {sorted(RECOVERY_MODES)})"
+        )
+    return name
 
 
 @dataclass
@@ -31,6 +46,11 @@ class FmiConfig:
     #: parity), "partner" (full-copy neighbour replication), or
     #: "single" (node-local only; pair with ``level2_every``)
     redundancy: str = "xor"
+    #: recovery plane: "global" (every failure rolls all ranks back to
+    #: the last checkpoint -- the paper's behaviour) or "logged"
+    #: (sender-based message logging + receiver determinants: only the
+    #: restarted ranks roll back, survivors replay logged traffic)
+    recovery: str = "global"
     #: log-ring base k (Section IV-C; k=2 is the paper's default)
     logring_k: int = 2
     #: pre-reserved spare nodes requested with the allocation
@@ -63,10 +83,21 @@ class FmiConfig:
             raise ValueError("mtbf_seconds must be positive")
         if self.xor_group_size < 2:
             raise ValueError("xor_group_size must be >= 2")
-        if self.redundancy not in ("xor", "partner", "single"):
+        # Late import: redundancy.py owns the scheme registry and the
+        # config module must stay importable before it.
+        from repro.fmi.redundancy import SCHEMES
+
+        if self.redundancy not in SCHEMES:
             raise ValueError(
                 f"unknown redundancy scheme {self.redundancy!r} "
-                "(choose from ['partner', 'single', 'xor'])"
+                f"(choose from {sorted(SCHEMES)})"
+            )
+        check_recovery_mode(self.recovery)
+        if self.recovery == "logged" and self.level2_every is not None:
+            raise ValueError(
+                "recovery='logged' does not support multilevel C/R "
+                "(level2_every): partial rollback restores from the "
+                "level-1 tier only"
             )
         if self.logring_k < 2:
             raise ValueError("logring_k must be >= 2")

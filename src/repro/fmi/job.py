@@ -14,6 +14,7 @@ from repro.fmi.state import TransitionLog
 from repro.fmi.xor_group import XorGroupLayout
 from repro.net.pmgr import PmgrRendezvous
 from repro.runtime.core import JobBase
+from repro.runtime.policy import GLOBAL_ROLLBACK, PartialRollback
 
 __all__ = ["FmiJob"]
 
@@ -57,8 +58,20 @@ class FmiJob(JobBase):
         self.xor_layout = XorGroupLayout(num_ranks, procs_per_node, group)
         self.detector = LogRingDetector(self)
         self.transitions = TransitionLog()
-        self._h1_rdv: Dict[int, PmgrRendezvous] = {}
-        self._h2_rdv: Dict[int, PmgrRendezvous] = {}
+        # Recovery plane (config.recovery): "global" keeps the classic
+        # everyone-rolls-back protocol; "logged" attaches the
+        # message-logging plane and its partial-rollback strategy.
+        self.recovery_plane = None
+        self.recovery_strategy = GLOBAL_ROLLBACK
+        if self.config.recovery == "logged":
+            from repro.fmi.msglog import RecoveryPlane
+
+            plane = RecoveryPlane(self)
+            self.recovery_plane = plane
+            self.recovery_strategy = PartialRollback(plane)
+            self.transport.recovery_filter = plane.accept
+        self._h1_rdv: Dict[Any, PmgrRendezvous] = {}
+        self._h2_rdv: Dict[Any, PmgrRendezvous] = {}
 
         # -- statistics --
         self.recovered_at: Dict[int, float] = {}
@@ -75,23 +88,42 @@ class FmiJob(JobBase):
         return FmiProcess(self, rank, node, incarnation)
 
     # -- runtime services (called by FmiProcess) -------------------------------------
-    def h1_rendezvous(self) -> PmgrRendezvous:
+    def _rendezvous_scope(self, rank: Optional[int]):
+        """Key + participant count for an H1/H2 rendezvous.
+
+        Global rollback synchronises the whole world each epoch.
+        Partial rollback (epoch > 0) synchronises only the restarted
+        recovery unit: the failed node slot's own ranks.
+        """
         epoch = self.epoch
-        rdv = self._h1_rdv.get(epoch)
+        if (
+            epoch > 0
+            and rank is not None
+            and self.recovery_strategy.rendezvous_scope == "slot"
+        ):
+            slot = self.slot_of_rank(rank)
+            size = sum(
+                1 for r in range(self.num_ranks)
+                if self.slot_of_rank(r) == slot and r not in self.finished_ranks
+            )
+            return (epoch, slot), size, self.ppn
+        return epoch, self.num_ranks - len(self.finished_ranks), self.num_ranks
+
+    def h1_rendezvous(self, rank: Optional[int] = None) -> PmgrRendezvous:
+        key, size, scale = self._rendezvous_scope(rank)
+        rdv = self._h1_rdv.get(key)
         if rdv is None:
-            size = self.num_ranks - len(self.finished_ranks)
-            cost = self.machine.spec.fmi_bootstrap_time(self.num_ranks)
+            cost = self.machine.spec.fmi_bootstrap_time(scale)
             rdv = PmgrRendezvous(self.sim, size, cost)
-            self._h1_rdv[epoch] = rdv
+            self._h1_rdv[key] = rdv
         return rdv
 
-    def h2_rendezvous(self) -> PmgrRendezvous:
-        epoch = self.epoch
-        rdv = self._h2_rdv.get(epoch)
+    def h2_rendezvous(self, rank: Optional[int] = None) -> PmgrRendezvous:
+        key, size, _scale = self._rendezvous_scope(rank)
+        rdv = self._h2_rdv.get(key)
         if rdv is None:
-            size = self.num_ranks - len(self.finished_ranks)
             rdv = PmgrRendezvous(self.sim, size, cost=0.0)
-            self._h2_rdv[epoch] = rdv
+            self._h2_rdv[key] = rdv
         return rdv
 
     def note_recovery_complete(self) -> None:

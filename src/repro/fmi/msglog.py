@@ -1,0 +1,610 @@
+"""Sender-based message logging: the partial-rollback recovery plane.
+
+Selected with ``FmiConfig(recovery="logged")``.  The default
+(``"global"``) plane rolls *every* rank back to the last coordinated
+checkpoint on any failure -- the paper's behaviour.  This plane instead
+keeps survivors running and rolls back only the restarted ranks, the
+protocol family of Dichev & Nikolopoulos (*Implementing Efficient
+Message Logging Protocols as MPI Application Extensions*): sender-based
+payload logs plus receiver determinants give piecewise-deterministic
+replay, and a per-channel logical sequence number gives exact-once
+delivery across the rollback.
+
+The plane is a simulator-side oracle object (one per job), which is
+exactly where a real implementation keeps this state too: the log lives
+in the *sender's* memory and the determinants in the *receiver's*, and
+neither is lost when some other rank dies.  Three mechanisms:
+
+**Payload logs.**  Every send crossing a recovery unit (a node slot:
+the set of ranks that die together) is appended to the sender's
+in-memory log together with its payload copy and a per-channel logical
+sequence number ``lseq = (src, dst, n)``.  ``n`` is *reproduced* by a
+re-executing sender (unlike ``Envelope.seq``, which is a fresh draw per
+transmission), so the same logical message always carries the same
+identity.  Logs are garbage-collected when every live rank's retained
+checkpoint window has advanced past an entry (:meth:`_gc`).
+
+**Receiver determinants.**  The matching engine reports every match to
+:attr:`~repro.net.matching.MatchingEngine.match_sink`; wildcard
+(``ANY_SOURCE``/``ANY_TAG``) outcomes are recorded as determinants.  A
+recovering rank re-posts its wildcard receives as *exact* receives in
+the recorded order, so replayed messages match in the original order
+even though replay interleaves senders arbitrarily.
+
+**Partial restore.**  When a restarted rank reaches ``FMI_Loop`` it
+runs :meth:`RecoveryPlane.partial_restore` instead of the global
+``CheckpointEngine.restore``: a *sidecar* ensemble of per-member
+network contexts drives ``CheckpointEngine.rebuild_missing`` over the
+XOR group's live storages (survivor application state is untouched --
+no world agreement, no pruning), the rank's plane state is rewound to
+the snapshot taken at that checkpoint, and each surviving sender
+replays its logged messages destined to the rank, serialized per
+sender to preserve channel FIFO order.  Survivors meanwhile just block
+on their pending receives from the restarted rank; when its
+re-execution reaches the failure point it re-sends them, and re-sends
+of messages a survivor already consumed are suppressed by the
+transport's :attr:`~repro.net.transport.Transport.recovery_filter`
+(the ``lseq`` dedup).  The epoch filter is *not* used: in logged mode
+every context stays at epoch 0 (there is no global epoch to advance
+past), and exact-once delivery rests entirely on the lseq sets.
+
+Trace events (``mlog.*``): ``mlog.log`` (an entry appended),
+``mlog.gc``, ``mlog.restore.begin`` / ``mlog.restore`` (span),
+``mlog.rewind``, ``mlog.replay`` (one message), ``mlog.replay.done``,
+``mlog.dup`` (a suppressed duplicate re-send), ``mlog.det.mismatch``.
+The orphan invariant (:func:`repro.chaos.invariants.check_no_orphans`)
+is checked post-hoc from ``mlog.log`` / ``mlog.rewind`` / ``net.recv``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.fmi.checkpoint import CheckpointEngine
+from repro.fmi.redundancy import make_scheme
+from repro.mpi.api import ParallelApi, _snapshot
+from repro.net.matching import ANY_SOURCE, ANY_TAG
+from repro.net.message import Envelope
+
+__all__ = ["RecoveryPlane", "LogEntry"]
+
+
+class LogEntry:
+    """One logged cross-slot message (sender-side)."""
+
+    __slots__ = (
+        "dst", "env_src", "env_dst", "tag", "comm_id", "n", "nbytes",
+        "data", "ckpt_tag",
+    )
+
+    def __init__(self, dst, env_src, env_dst, tag, comm_id, n, nbytes,
+                 data, ckpt_tag):
+        self.dst = dst            # destination world rank
+        self.env_src = env_src    # comm-relative source rank
+        self.env_dst = env_dst    # comm-relative destination rank
+        self.tag = tag
+        self.comm_id = comm_id
+        self.n = n                # channel sequence number (lseq[2])
+        self.nbytes = nbytes
+        self.data = data          # payload copy
+        self.ckpt_tag = ckpt_tag  # sender's last completed dataset at send
+
+
+class Determinant:
+    """One recorded wildcard match outcome (receiver-side)."""
+
+    __slots__ = ("source", "tag", "comm_id", "env_src", "env_tag", "lseq")
+
+    def __init__(self, source, tag, comm_id, env_src, env_tag, lseq):
+        self.source = source      # posted pattern (may be ANY_SOURCE)
+        self.tag = tag            # posted pattern (may be ANY_TAG)
+        self.comm_id = comm_id
+        self.env_src = env_src    # who actually matched
+        self.env_tag = env_tag
+        self.lseq = lseq          # identity of the matched message
+
+
+class _Snapshot:
+    """Plane state of one rank at a completed checkpoint."""
+
+    __slots__ = ("counters", "consumed", "det_len")
+
+    def __init__(self, counters: Dict[int, int], consumed: Set[Tuple[int, int]],
+                 det_len: int):
+        self.counters = counters  # dst world rank -> next channel seq
+        self.consumed = consumed  # {(src, n)} consumed by the execution
+        self.det_len = det_len    # determinants recorded so far
+
+
+class _SidecarApi(ParallelApi):
+    """Minimal API for the rebuild ensemble: ranks are XOR-group
+    *positions*, routing goes through a private position->address
+    table, epoch stays 0.  Gives ``CheckpointEngine`` collectives
+    without touching any application context."""
+
+    def __init__(self, transport, ctx, position, group_size, table):
+        super().__init__(transport, ctx, position, group_size)
+        self._table = table
+
+    def _route(self, position: int):
+        return self._table[position]
+
+
+class RecoveryPlane:
+    """Job-wide message-logging state + the partial-restore driver."""
+
+    def __init__(self, job):
+        self.job = job
+        self.sim = job.sim
+        #: (src, dst) world-rank pair -> next channel sequence number
+        self.send_seq: Dict[Tuple[int, int], int] = {}
+        #: sender world rank -> its payload log (FIFO per channel)
+        self.logs: Dict[int, List[LogEntry]] = {}
+        #: receiver world rank -> recorded wildcard-match determinants
+        self.determinants: Dict[int, List[Determinant]] = {}
+        #: replay cursor / stop line into ``determinants`` per rank
+        self.det_cursor: Dict[int, int] = {}
+        self.det_limit: Dict[int, int] = {}
+        #: receiver world rank -> {(src, n)} *delivered* into its live
+        #: matching engine (the transport-level exact-once filter)
+        self.seen: Dict[int, Set[Tuple[int, int]]] = {}
+        #: receiver world rank -> {(src, n)} *consumed* (matched) by
+        #: its execution -- the snapshot/rewind basis.  Delivered-but-
+        #: unconsumed messages must be re-deliverable after a rollback,
+        #: so the two sets are tracked separately.
+        self.consumed: Dict[int, Set[Tuple[int, int]]] = {}
+        #: (rank, dataset_id) -> plane snapshot at that checkpoint
+        self.snapshots: Dict[Tuple[int, int], _Snapshot] = {}
+        #: rank -> last completed dataset id (stamped on log entries)
+        self.last_ckpt: Dict[int, int] = {}
+        #: rank -> retained completed dataset ids (oldest first)
+        self.completed: Dict[int, List[int]] = {}
+        #: ranks currently inside partial_restore
+        self.recovering: Set[int] = set()
+        # -- counters (observability + tests) --
+        self.log_entries = 0
+        self.log_bytes = 0.0
+        self.live_entries = 0
+        self.live_bytes = 0.0
+        self.gc_entries = 0
+        self.gc_bytes = 0.0
+        self.replayed_msgs = 0
+        self.replayed_bytes = 0.0
+        self.dup_suppressed = 0
+        self.det_recorded = 0
+        self.det_mismatches = 0
+        self.partial_restores = 0
+
+    # -- send path ---------------------------------------------------------
+    def on_send(self, src: int, dst: int, env: Envelope) -> None:
+        """Stamp ``env`` with its channel lseq; log it if cross-slot."""
+        key = (src, dst)
+        n = self.send_seq.get(key, 0)
+        self.send_seq[key] = n + 1
+        env.lseq = (src, dst, n)
+        job = self.job
+        if job.slot_of_rank(src) == job.slot_of_rank(dst):
+            # Same recovery unit: sender and receiver die together, and
+            # a restarted pair re-executes both ends -- nothing to log.
+            return
+        entry = LogEntry(
+            dst, env.src, env.dst, env.tag, env.comm_id, n, env.nbytes,
+            _snapshot(env.data), self.last_ckpt.get(src, -1),
+        )
+        self.logs.setdefault(src, []).append(entry)
+        self.log_entries += 1
+        self.log_bytes += env.nbytes
+        self.live_entries += 1
+        self.live_bytes += env.nbytes
+        sim = self.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "mlog.log", "mlog", rank=src, epoch=job.epoch, dst=dst,
+                tag=env.tag, n=n, nbytes=env.nbytes, ckpt=entry.ckpt_tag,
+            )
+        if sim.metrics.enabled:
+            sim.metrics.counter("mlog.logged_msgs").inc()
+            sim.metrics.gauge("mlog.log_bytes").set(self.live_bytes)
+
+    # -- receive path ------------------------------------------------------
+    def accept(self, env: Envelope) -> bool:
+        """Transport delivery filter: exact-once per channel lseq."""
+        src, dst, n = env.lseq
+        seen = self.seen.setdefault(dst, set())
+        if (src, n) in seen:
+            self.dup_suppressed += 1
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "mlog.dup", "mlog", rank=dst, src=src, n=n, tag=env.tag,
+                )
+            return False
+        seen.add((src, n))
+        return True
+
+    def make_sink(self, rank: int):
+        """The per-context :attr:`MatchingEngine.match_sink` closure:
+        consumption bookkeeping for every match, a determinant for
+        every *wildcard* match."""
+
+        def sink(source, tag, env):
+            lseq = env.lseq
+            if lseq is not None:
+                self.consumed.setdefault(rank, set()).add((lseq[0], lseq[2]))
+            if source == ANY_SOURCE or tag == ANY_TAG:
+                if self.det_cursor.get(rank, 0) >= self.det_limit.get(rank, 0):
+                    self.determinants.setdefault(rank, []).append(
+                        Determinant(source, tag, env.comm_id, env.src,
+                                    env.tag, lseq)
+                    )
+                    self.det_recorded += 1
+
+        return sink
+
+    def next_determinant(self, rank: int, source: int, tag: int,
+                         comm_id: int) -> Optional[Determinant]:
+        """The next recorded determinant for a re-executed wildcard
+        post, or None once the cursor reaches the failure point (or on
+        a pattern mismatch -- counted, replay degrades to free order)."""
+        cursor = self.det_cursor.get(rank, 0)
+        if cursor >= self.det_limit.get(rank, 0):
+            return None
+        det = self.determinants[rank][cursor]
+        if (det.source, det.tag, det.comm_id) != (source, tag, comm_id):
+            self.det_mismatches += 1
+            self.det_cursor[rank] = self.det_limit.get(rank, 0)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "mlog.det.mismatch", "mlog", rank=rank,
+                    posted=(source, tag, comm_id),
+                    recorded=(det.source, det.tag, det.comm_id),
+                )
+            return None
+        self.det_cursor[rank] = cursor + 1
+        return det
+
+    def check_replayed_match(self, evt, det: Determinant, rank: int) -> None:
+        """Assert a determinant-rewritten post matched the recorded
+        message (same channel identity), once it completes."""
+        recorded = det.lseq
+
+        def _check(env) -> None:
+            if recorded is not None and getattr(env, "lseq", None) != recorded:
+                self.det_mismatches += 1
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.instant(
+                        "mlog.det.mismatch", "mlog", rank=rank,
+                        expected=recorded, got=getattr(env, "lseq", None),
+                    )
+
+        if evt.triggered:
+            if evt._ok:
+                _check(evt._value)
+        else:
+            evt.callbacks.append(
+                lambda e: _check(e._value) if e._ok else None
+            )
+
+    # -- checkpoint bookkeeping -------------------------------------------
+    #: retained checkpoint window per rank; mirrors CheckpointEngine.KEEP
+    KEEP = CheckpointEngine.KEEP
+
+    def note_rank_checkpoint(self, rank: int, dataset_id: int) -> None:
+        """``rank`` completed checkpoint ``dataset_id``: snapshot its
+        plane state (the rewind target) and advance garbage collection."""
+        counters = {
+            d: n for (s, d), n in self.send_seq.items() if s == rank
+        }
+        self.snapshots[(rank, dataset_id)] = _Snapshot(
+            counters, set(self.consumed.get(rank, ())),
+            len(self.determinants.get(rank, ())),
+        )
+        self.last_ckpt[rank] = dataset_id
+        retained = self.completed.setdefault(rank, [])
+        if dataset_id not in retained:
+            retained.append(dataset_id)
+            retained.sort()
+        while len(retained) > self.KEEP:
+            dropped = retained.pop(0)
+            self.snapshots.pop((rank, dropped), None)
+        self._gc()
+
+    def _gc(self) -> None:
+        """Drop entries no restore can ever need.
+
+        A partial restore targets the newest dataset *common to the
+        whole XOR group*, which is always >= the job-wide floor
+        ``stable = min over live ranks of their oldest retained
+        dataset``.  An entry stamped ``ckpt_tag < stable`` was sent
+        before its sender's checkpoint ``stable`` completed; since
+        checkpoints are coordinated and the BSP app quiesces its
+        traffic at every ``FMI_Loop``, such a message was delivered
+        before the receiver's ``stable`` snapshot -- its lseq is inside
+        every rewind target's consumed set, so it is never replayed."""
+        job = self.job
+        floors: List[int] = []
+        for r in range(job.num_ranks):
+            if r in job.finished_ranks:
+                continue
+            ids = self.completed.get(r)
+            if not ids:
+                return  # a live rank has no checkpoint yet: keep all
+            floors.append(ids[0])
+        if not floors:
+            return
+        stable = min(floors)
+        dropped = 0
+        dropped_bytes = 0.0
+        for src, entries in self.logs.items():
+            kept = [e for e in entries if e.ckpt_tag >= stable]
+            if len(kept) != len(entries):
+                dropped += len(entries) - len(kept)
+                dropped_bytes += sum(e.nbytes for e in entries) - sum(
+                    e.nbytes for e in kept
+                )
+                self.logs[src] = kept
+        if not dropped:
+            return
+        self.gc_entries += dropped
+        self.gc_bytes += dropped_bytes
+        self.live_entries -= dropped
+        self.live_bytes -= dropped_bytes
+        sim = self.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "mlog.gc", "mlog", stable=stable, entries=dropped,
+                nbytes=dropped_bytes, live=self.live_entries,
+            )
+        if sim.metrics.enabled:
+            sim.metrics.gauge("mlog.log_bytes").set(self.live_bytes)
+            sim.metrics.counter("mlog.gc_entries").inc(dropped)
+
+    # -- partial restore ---------------------------------------------------
+    def partial_restore(self, fmi_ctx):
+        """The logged-mode replacement for ``CheckpointEngine.restore``.
+
+        Runs inside the restarted rank's process (from ``FMI_Loop``).
+        Returns ``(meta, payloads)`` like ``restore()``, or None on a
+        group-wide cold start."""
+        rank = fmi_ctx.world_rank
+        job = self.job
+        sim = self.sim
+        t0 = sim.now
+        self.recovering.add(rank)
+        self.partial_restores += 1
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "mlog.restore.begin", "mlog", rank=rank,
+                node=fmi_ctx.node.id, epoch=job.epoch,
+                incarnation=fmi_ctx.fproc.incarnation,
+            )
+        restored = yield from self._rebuild(fmi_ctx)
+        dataset = None if restored is None else restored[0].dataset_id
+        self._rewind(rank, dataset, fmi_ctx.ctx.matching)
+        msgs, nbytes = yield from self._replay_into(rank)
+        self.recovering.discard(rank)
+        if sim.tracer.enabled:
+            sim.tracer.complete(
+                "mlog.restore", "mlog", t0, rank=rank,
+                node=fmi_ctx.node.id, epoch=job.epoch,
+                dataset=-1 if dataset is None else dataset, replayed=msgs,
+            )
+            sim.tracer.instant(
+                "mlog.replay.done", "mlog", rank=rank, epoch=job.epoch,
+                msgs=msgs, nbytes=nbytes,
+                dataset=-1 if dataset is None else dataset,
+            )
+        if sim.metrics.enabled:
+            sim.metrics.counter("mlog.replayed_msgs").inc(msgs)
+            sim.metrics.counter("mlog.replayed_bytes").inc(nbytes)
+            sim.metrics.histogram("mlog.restore_latency_s").observe(
+                sim.now - t0
+            )
+        return restored
+
+    def _rebuild(self, fmi_ctx):
+        """Drive ``CheckpointEngine.rebuild_missing`` over a sidecar
+        ensemble: one fresh context per group member, on the member's
+        *current* node, against the member's live storage.  Survivor
+        application contexts are never touched."""
+        job = self.job
+        layout = job.xor_layout
+        rank = fmi_ctx.world_rank
+        group = layout.group_of(rank)
+        members = layout.members(group)
+        size = len(members)
+        my_pos = members.index(rank)
+        missing = sorted(
+            pos for pos, m in enumerate(members) if m in self.recovering
+        )
+        transport = job.transport
+        ctxs = []
+        table: Dict[int, Tuple[int, int]] = {}
+        for pos, member in enumerate(members):
+            node = (
+                fmi_ctx.node if member == rank
+                else job.rank_procs[member].node
+            )
+            ctx = transport.create_context(
+                node, label=f"mlog:rebuild:g{group}:p{pos}"
+            )
+            ctxs.append(ctx)
+            table[pos] = ctx.addr
+        scheme_name = job.config.redundancy
+        try:
+            procs = []
+            for pos, member in enumerate(members):
+                if pos == my_pos:
+                    continue
+                api = _SidecarApi(transport, ctxs[pos], pos, size, table)
+                engine = CheckpointEngine(
+                    api.world, job.rank_procs[member].storage, api.memcpy,
+                    scheme=make_scheme(scheme_name),
+                )
+                procs.append(ctxs[pos].node.spawn(
+                    self._assist(engine, missing),
+                    name=f"mlog.rebuild[g{group}:p{pos}]",
+                ))
+            api = _SidecarApi(transport, ctxs[my_pos], my_pos, size, table)
+            engine = CheckpointEngine(
+                api.world, fmi_ctx.fproc.storage, api.memcpy,
+                scheme=make_scheme(scheme_name),
+            )
+            mine = yield from engine.rebuild_missing(missing)
+            for proc in procs:
+                if not proc.triggered:
+                    yield proc
+                elif not proc._ok:
+                    raise proc._value
+        finally:
+            for ctx in ctxs:
+                ctx.close()
+        return mine
+
+    @staticmethod
+    def _assist(engine, missing):
+        yield from engine.rebuild_missing(list(missing))
+
+    def _rewind(self, rank: int, dataset: Optional[int],
+                matching=None) -> None:
+        """Reset ``rank``'s plane state to its snapshot at ``dataset``.
+
+        No snapshot for a non-None dataset means the previous
+        incarnation died *inside* checkpoint ``dataset`` after its last
+        contribution was out but before completing locally (the torn
+        tail).  The resume point then coincides with the death point,
+        so the live at-death values are already correct and nothing is
+        rewound (re-sent lseqs stay unique, consumed collective traffic
+        is not replayed).
+
+        ``matching`` is the restarted rank's live matching engine.
+        Survivors keep sending while the replacement bootstraps, so its
+        fresh context accumulates deliveries *before* the rewind; those
+        lseqs are about to be erased from ``seen``, which would let the
+        replay deliver a second physical copy of each one (double
+        consumption shifts every later match on the channel).  Purging
+        the queue here makes the replay the single source of pre-rewind
+        traffic: everything purged came from another recovery unit --
+        the rank's own siblings restart with it and re-send -- so it is
+        in the log and is regenerated exactly once."""
+        snap = None if dataset is None else self.snapshots.get((rank, dataset))
+        torn = snap is None and dataset is not None
+        sim = self.sim
+        consumed = self.consumed.setdefault(rank, set())
+        if torn:
+            # At-death values are the rewind target; only the delivered
+            # set shrinks (below), so the unconsumed tail of the queue
+            # is re-deliverable.
+            counters = {
+                d: n for (s, d), n in self.send_seq.items() if s == rank
+            }
+            det_cursor = len(self.determinants.get(rank, ()))
+        else:
+            counters = {} if snap is None else dict(snap.counters)
+            for key in [k for k in self.send_seq if k[0] == rank]:
+                del self.send_seq[key]
+            self.send_seq.update({(rank, d): n for d, n in counters.items()})
+            consumed.clear()
+            if snap is not None:
+                consumed.update(snap.consumed)
+            det_cursor = 0 if snap is None else snap.det_len
+        # In-place: the transport filter and match sinks hold these sets.
+        seen = self.seen.setdefault(rank, set())
+        seen.clear()
+        seen.update(consumed)
+        purged = 0
+        if matching is not None:
+            _cancelled, purged = matching.reset()
+        self.det_limit[rank] = len(self.determinants.get(rank, ()))
+        self.det_cursor[rank] = det_cursor
+        # The re-execution re-logs everything past the snapshot; drop
+        # the dead incarnation's copies so the log holds each logical
+        # message once.
+        entries = self.logs.get(rank)
+        if entries:
+            kept = [e for e in entries if e.n < counters.get(e.dst, 0)]
+            removed = len(entries) - len(kept)
+            if removed:
+                self.live_entries -= removed
+                self.live_bytes -= sum(e.nbytes for e in entries) - sum(
+                    e.nbytes for e in kept
+                )
+                self.logs[rank] = kept
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "mlog.rewind", "mlog", rank=rank, epoch=self.job.epoch,
+                dataset=-1 if dataset is None else dataset, torn=torn,
+                purged=purged,
+                counters={str(d): n for d, n in sorted(counters.items())},
+            )
+
+    def _replay_into(self, rank: int):
+        """Replay logged messages destined to ``rank`` that its rewound
+        execution has not consumed, one serialized stream per sender
+        (channel FIFO), from each sender's current node."""
+        job = self.job
+        sim = self.sim
+        consumed = self.consumed.get(rank, set())
+        by_sender: Dict[int, List[LogEntry]] = {}
+        for src, entries in self.logs.items():
+            if src == rank or src in self.recovering:
+                continue
+            for entry in entries:
+                if entry.dst == rank and (src, entry.n) not in consumed:
+                    by_sender.setdefault(src, []).append(entry)
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "mlog.replay.begin", "mlog", rank=rank, epoch=job.epoch,
+                senders=len(by_sender),
+                msgs=sum(len(v) for v in by_sender.values()),
+            )
+        if not by_sender:
+            return 0, 0.0
+        counts = {"msgs": 0, "bytes": 0.0}
+        procs = []
+        for src in sorted(by_sender):
+            rproc = job.rank_procs.get(src)
+            if rproc is None or not rproc.node.alive:
+                continue  # sender just died too; its replacement re-sends
+            ctx = job.transport.create_context(
+                rproc.node, label=f"mlog:replay:{src}->{rank}"
+            )
+            procs.append(rproc.node.spawn(
+                self._replay_sender(ctx, src, rank, by_sender[src], counts),
+                name=f"mlog.replay[{src}->{rank}]",
+            ))
+        for proc in procs:
+            if not proc.triggered:
+                yield proc
+            elif not proc._ok:
+                raise proc._value
+        self.replayed_msgs += counts["msgs"]
+        self.replayed_bytes += counts["bytes"]
+        return counts["msgs"], counts["bytes"]
+
+    def _replay_sender(self, ctx, src: int, rank: int,
+                       entries: List[LogEntry], counts):
+        job = self.job
+        transport = job.transport
+        tracer = self.sim.tracer
+        try:
+            for entry in entries:
+                dst_addr = job.addr_table.get(rank)
+                if dst_addr is None:
+                    break
+                env = Envelope(
+                    src=entry.env_src, dst=entry.env_dst, tag=entry.tag,
+                    comm_id=entry.comm_id, epoch=0, nbytes=entry.nbytes,
+                    data=_snapshot(entry.data),
+                )
+                env.lseq = (src, rank, entry.n)
+                if tracer.enabled:
+                    tracer.instant(
+                        "mlog.replay", "mlog", rank=rank, epoch=job.epoch,
+                        src=src, tag=entry.tag, n=entry.n,
+                        nbytes=entry.nbytes,
+                    )
+                yield transport.send(ctx, dst_addr, env)
+                counts["msgs"] += 1
+                counts["bytes"] += entry.nbytes
+        finally:
+            ctx.close()

@@ -89,6 +89,18 @@ class FmiProcess(RankProcess):
             return
         if self.notified_gen >= generation:
             return
+        if self.job.recovery_strategy.absorb_notification(self, generation):
+            # Partial rollback: this survivor keeps computing.  Record
+            # the generation (so re-sync sweeps stay quiet) but do not
+            # unwind the application.
+            self.notified_gen = generation
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "fmi.notify", "recovery", rank=self.rank,
+                    node=self.node.id, incarnation=self.incarnation,
+                    epoch=generation, reason=reason, absorbed=True,
+                )
+            return
         self.notified_gen = generation
         self._notified_pending = True
         if self.sim.tracer.enabled:
@@ -150,10 +162,17 @@ class FmiProcess(RankProcess):
         job = self.job
         self._notified_pending = False
         self.notified_gen = max(self.notified_gen, job.epoch)
-        self.ctx.epoch = job.epoch  # stale pre-failure traffic now drops
+        plane = job.recovery_plane
+        if plane is None:
+            self.ctx.epoch = job.epoch  # stale pre-failure traffic now drops
+        else:
+            # Partial rollback never raises the envelope epoch:
+            # survivor traffic stays valid across the recovery, and
+            # exact-once delivery is the plane's lseq filter instead.
+            self.ctx.matching.match_sink = plane.make_sink(self.rank)
         self.ctx.matching.reset()
         job.register_endpoint(self.rank, self.ctx)
-        rdv = job.h1_rendezvous()
+        rdv = job.h1_rendezvous(self.rank)
         yield rdv.arrive()
 
     def _h2(self):
@@ -162,8 +181,11 @@ class FmiProcess(RankProcess):
         job = self.job
         n_conn = job.detector.connections_per_rank(job.num_ranks)
         yield self.sim.timeout(job.machine.spec.network.overlay_connect_cost * n_conn)
-        job.detector.join(self, job.epoch)
-        rdv = job.h2_rendezvous()
+        # Under partial rollback survivors never re-join, so a
+        # replacement must join the epoch-0 overlay to reach them.
+        overlay_epoch = 0 if job.recovery_plane is not None else job.epoch
+        job.detector.join(self, overlay_epoch)
+        rdv = job.h2_rendezvous(self.rank)
         yield rdv.arrive()
         job.note_recovery_complete()
 

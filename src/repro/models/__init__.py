@@ -8,19 +8,35 @@
   24 h continuously.
 * :mod:`~repro.models.efficiency` -- Fig 17: multilevel-C/R efficiency
   under scaled failure rates and level-2 costs.
+* :mod:`~repro.models.msglog_model` -- the message-logging plane: log
+  volume, replay latency, and the partial-vs-global crossover.
 """
 
 from repro.models.availability import prob_continuous_run, run_probability_curve
 from repro.models.cr_model import checkpoint_time, restart_time
 from repro.models.efficiency import multilevel_efficiency, single_level_efficiency
+from repro.models.msglog_model import (
+    global_recovery_latency,
+    log_volume,
+    partial_beats_global,
+    partial_recovery_latency,
+    replay_crossover_bytes,
+    replay_latency,
+)
 from repro.models.vaidya import expected_runtime_factor, optimal_interval
 
 __all__ = [
     "checkpoint_time",
     "expected_runtime_factor",
+    "global_recovery_latency",
+    "log_volume",
     "multilevel_efficiency",
     "optimal_interval",
+    "partial_beats_global",
+    "partial_recovery_latency",
     "prob_continuous_run",
+    "replay_crossover_bytes",
+    "replay_latency",
     "restart_time",
     "run_probability_curve",
     "single_level_efficiency",

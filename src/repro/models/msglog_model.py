@@ -1,0 +1,156 @@
+"""Analytic model of the message-logging recovery plane.
+
+Companion to :mod:`~repro.models.cr_model`: where that module prices a
+checkpoint/restart round-trip, this one prices what the ``"logged"``
+recovery plane adds (sender logs, replay traffic) and removes (the
+world-wide bootstrap and the survivors' restores) relative to global
+rollback, so ablations can predict where partial rollback wins.
+
+Steady state, per rank::
+
+    log_volume = r * f * b * keep * T_ckpt_interval
+
+``r`` messages/s of ``b`` bytes, a fraction ``f`` of which cross a
+recovery-unit boundary (only those are logged); entries are garbage-
+collected when the job-wide stable floor passes them, which retains
+``keep`` checkpoint intervals' worth (the engine keeps the last
+``keep`` datasets).
+
+Recovery latency decomposes as::
+
+    global  = bootstrap(world) + T_restart
+    partial = bootstrap(unit)  + T_restart + replay_bytes / net_bw
+
+``T_restart`` (from :func:`~repro.models.cr_model.restart_time`) is
+paid in both planes: the replacement's XOR rebuild dominates either
+way, and the re-executed iterations take the same wall-clock whether
+everyone redoes them (global) or survivors idle at their next
+cross-unit receive while the restarted ranks catch up (partial).  What
+partial avoids is the *world-scoped* PMGR bootstrap -- it re-syncs only
+the failed recovery unit -- and what it pays is pushing the logged
+backlog through the restarted rank's NIC.  Hence the crossover: partial
+beats global while the replay backlog is smaller than the bootstrap
+saving times the wire speed.
+"""
+
+from __future__ import annotations
+
+from repro.models.cr_model import restart_time
+
+__all__ = [
+    "log_volume",
+    "replay_latency",
+    "partial_recovery_latency",
+    "global_recovery_latency",
+    "replay_crossover_bytes",
+    "partial_beats_global",
+]
+
+
+def log_volume(
+    msg_rate_hz: float,
+    avg_msg_bytes: float,
+    cross_unit_fraction: float,
+    checkpoint_interval_s: float,
+    keep: int = 2,
+) -> float:
+    """Steady-state sender-log bytes retained per rank."""
+    if msg_rate_hz < 0 or avg_msg_bytes < 0:
+        raise ValueError("rates and sizes must be >= 0")
+    if not 0.0 <= cross_unit_fraction <= 1.0:
+        raise ValueError("cross_unit_fraction must be in [0, 1]")
+    if checkpoint_interval_s < 0:
+        raise ValueError("checkpoint_interval_s must be >= 0")
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    return (
+        msg_rate_hz * cross_unit_fraction * avg_msg_bytes
+        * checkpoint_interval_s * keep
+    )
+
+
+def replay_latency(replay_bytes: float, net_bw: float) -> float:
+    """Time to push the logged backlog into one restarted rank.
+
+    Senders stream concurrently but share the restarted rank's NIC, so
+    the receiver wire is the bottleneck regardless of sender count."""
+    if replay_bytes < 0:
+        raise ValueError("replay_bytes must be >= 0")
+    if net_bw <= 0:
+        raise ValueError("net_bw must be positive")
+    return replay_bytes / net_bw
+
+
+def partial_recovery_latency(
+    s: float,
+    group_size: int,
+    mem_bw: float,
+    net_bw: float,
+    unit_bootstrap_s: float,
+    replay_bytes: float,
+    procs_per_node: int = 1,
+    scheme: str = "xor",
+) -> float:
+    """Modelled failure-to-resumption latency under partial rollback."""
+    return (
+        unit_bootstrap_s
+        + restart_time(s, group_size, mem_bw, net_bw, procs_per_node, scheme)
+        + replay_latency(replay_bytes, net_bw / procs_per_node)
+    )
+
+
+def global_recovery_latency(
+    s: float,
+    group_size: int,
+    mem_bw: float,
+    net_bw: float,
+    world_bootstrap_s: float,
+    procs_per_node: int = 1,
+    scheme: str = "xor",
+) -> float:
+    """Modelled failure-to-resumption latency under global rollback.
+
+    Survivors' local restores (``s/mem_bw`` each, in parallel) hide
+    behind the replacement's network rebuild, so the restart term is
+    the same as partial's; the world-scoped bootstrap is not."""
+    return (
+        world_bootstrap_s
+        + restart_time(s, group_size, mem_bw, net_bw, procs_per_node, scheme)
+    )
+
+
+def replay_crossover_bytes(
+    world_bootstrap_s: float,
+    unit_bootstrap_s: float,
+    net_bw: float,
+    procs_per_node: int = 1,
+) -> float:
+    """The replay backlog at which the planes break even.
+
+    Below this, partial rollback recovers faster; above it, the logged
+    backlog costs more to replay than the world bootstrap it avoids."""
+    if net_bw <= 0:
+        raise ValueError("net_bw must be positive")
+    saving = world_bootstrap_s - unit_bootstrap_s
+    return max(0.0, saving) * net_bw / procs_per_node
+
+
+def partial_beats_global(
+    s: float,
+    group_size: int,
+    mem_bw: float,
+    net_bw: float,
+    world_bootstrap_s: float,
+    unit_bootstrap_s: float,
+    replay_bytes: float,
+    procs_per_node: int = 1,
+    scheme: str = "xor",
+) -> bool:
+    """True when the modelled partial-rollback latency is lower."""
+    return partial_recovery_latency(
+        s, group_size, mem_bw, net_bw, unit_bootstrap_s, replay_bytes,
+        procs_per_node, scheme,
+    ) < global_recovery_latency(
+        s, group_size, mem_bw, net_bw, world_bootstrap_s,
+        procs_per_node, scheme,
+    )

@@ -99,6 +99,10 @@ class ParallelApi:
         """World rank -> transport address.  Must be overridden."""
         raise NotImplementedError
 
+    def _stamp(self, env: Envelope, dst_world: int) -> None:
+        """Give a recovery plane a look at every outgoing envelope
+        (lseq stamping + sender-side logging).  No-op by default."""
+
     # -- plumbing used by Communicator -----------------------------------------
     def _next_comm_id(self) -> int:
         self._comm_seq += 1
@@ -116,7 +120,9 @@ class ParallelApi:
         )
         self.bytes_sent += size
         self.msgs_sent += 1
-        return self.transport.send(self.ctx, self._route(comm.members[dst]), env)
+        dst_world = comm.members[dst]
+        self._stamp(env, dst_world)
+        return self.transport.send(self.ctx, self._route(dst_world), env)
 
     def _post_recv(self, comm: Communicator, source: int, tag: int):
         self._check_ok()

@@ -46,7 +46,18 @@ class Scr:
         interval: Optional[int] = None,
         mtbf_seconds: Optional[float] = None,
         scheme: str = "xor",
+        recovery: str = "global",
     ):
+        from repro.fmi.config import check_recovery_mode
+
+        check_recovery_mode(recovery)
+        if recovery == "logged":
+            raise ValueError(
+                "recovery='logged' needs the survivable FMI runtime: "
+                "fail-stop MPI relaunches the whole job, so there are "
+                "no survivors to replay message logs (use FmiJob with "
+                "FmiConfig(recovery='logged'))"
+            )
         self.api = api
         group = min(group_size, api.size // procs_per_node)
         self.layout = XorGroupLayout(api.size, procs_per_node, group)

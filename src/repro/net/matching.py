@@ -112,6 +112,12 @@ class _Unexpected:
 class MatchingEngine:
     """Per-process matching state: posted receives + unexpected queue."""
 
+    #: optional observer called as ``match_sink(source, tag, env)`` with
+    #: the *posted pattern* and the envelope, just before each match
+    #: fires.  The message-logging recovery plane uses it to track
+    #: consumption and to record wildcard-match determinants.
+    match_sink = None
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._posted: Dict[_BucketKey, Deque[_PostedRecv]] = {}
@@ -155,6 +161,8 @@ class MatchingEngine:
                 self._unexpected_live -= 1
                 self._note_debt()
                 self.matched_unexpected += 1
+                if self.match_sink is not None:
+                    self.match_sink(source, tag, rec.env)
                 evt.succeed(rec.env)
                 return evt
             del self._unexpected[key]
@@ -215,6 +223,8 @@ class MatchingEngine:
             evt = rec.event
             if evt.callbacks is not None and not evt.triggered:
                 self.matched_posted += 1
+                if self.match_sink is not None:
+                    self.match_sink(rec.source, rec.tag, env)
                 evt.succeed(env)
                 return
             # The waiter died (killed process / already-cancelled

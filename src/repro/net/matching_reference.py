@@ -48,6 +48,11 @@ class _PostedRecv:
 class ReferenceMatchingEngine:
     """Linear-scan matching: O(posted + unexpected) per operation."""
 
+    #: optional observer called as ``match_sink(source, tag, env)`` with
+    #: the posted pattern and the envelope, just before each match fires
+    #: (same contract as the indexed engine's).
+    match_sink = None
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._posted: Deque[_PostedRecv] = deque()
@@ -72,6 +77,8 @@ class ReferenceMatchingEngine:
             if probe.matches(env):
                 self._unexpected.remove(env)
                 self.matched_unexpected += 1
+                if self.match_sink is not None:
+                    self.match_sink(source, tag, env)
                 evt.succeed(env)
                 return evt
         self._posted.append(probe)
@@ -95,6 +102,8 @@ class ReferenceMatchingEngine:
             if posted.event.callbacks is not None and not posted.event.triggered:
                 self._posted.remove(posted)
                 self.matched_posted += 1
+                if self.match_sink is not None:
+                    self.match_sink(posted.source, posted.tag, env)
                 posted.event.succeed(env)
                 return
             # The waiter died (killed process / already-cancelled

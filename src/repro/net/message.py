@@ -25,7 +25,7 @@ class Envelope:
     """
 
     __slots__ = ("src", "dst", "tag", "comm_id", "epoch", "nbytes",
-                 "data", "seq")
+                 "data", "seq", "lseq")
 
     def __init__(
         self,
@@ -52,6 +52,11 @@ class Envelope:
         self.data = data
         #: global monotonic sequence number -- debugging/trace ordering
         self.seq = next(_seq) if seq is None else seq
+        #: message-logging identity ``(sender_world_rank, channel_seq)``;
+        #: stamped only when a recovery plane is active.  Unlike ``seq``
+        #: it is *reproduced* when a rolled-back sender re-executes, so
+        #: receivers can suppress duplicate re-sends during replay.
+        self.lseq = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -121,6 +121,13 @@ class Transport:
         self.omission_dups = 0
         #: duplicate copies suppressed at the receiver
         self.dup_dropped = 0
+        #: message-logging recovery filter (set by the logged recovery
+        #: plane): called with every lseq-stamped envelope just before
+        #: delivery; returning False suppresses a replayed/re-sent
+        #: duplicate of a message this receiver already holds
+        self.recovery_filter = None
+        #: envelopes suppressed by the recovery filter
+        self.replay_dup_dropped = 0
         machine.fabric.on_heal(self._on_heal)
 
     # -- registry ---------------------------------------------------------
@@ -196,6 +203,12 @@ class Transport:
                     ctx.stale_dropped += 1
                 elif self._lossy and env.seq in ctx.delivered_seqs:
                     self.dup_dropped += 1
+                elif (
+                    env.lseq is not None
+                    and self.recovery_filter is not None
+                    and not self.recovery_filter(env)
+                ):
+                    self.replay_dup_dropped += 1
                 else:
                     if self._lossy:
                         ctx.delivered_seqs.add(env.seq)
@@ -290,6 +303,13 @@ class Transport:
         elif self._lossy and env.seq in ctx.delivered_seqs:
             self.dup_dropped += 1
             outcome = "net.drop_dup"
+        elif (
+            env.lseq is not None
+            and self.recovery_filter is not None
+            and not self.recovery_filter(env)
+        ):
+            self.replay_dup_dropped += 1
+            outcome = "net.drop_replay_dup"
         else:
             if self._lossy:
                 ctx.delivered_seqs.add(env.seq)
@@ -300,6 +320,10 @@ class Transport:
             # filter: a net.recv with env.epoch < ctx_epoch would be
             # a stale delivery.
             extra = {} if ctx is None else {"ctx_epoch": ctx.epoch}
+            if env.lseq is not None:
+                # (src, dst, n) channel identity: the orphan checker
+                # correlates deliveries with mlog.log / mlog.rewind.
+                extra["lseq"] = env.lseq
             tracer.instant(
                 outcome, "net", rank=env.dst, node=dst_addr[0],
                 epoch=env.epoch, src=env.src, nbytes=env.nbytes,

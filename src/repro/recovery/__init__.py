@@ -1,0 +1,35 @@
+"""The recovery plane: *how* a job comes back after a failure.
+
+Checkpointing (:mod:`repro.fmi.checkpoint` + :mod:`repro.fmi.redundancy`)
+decides what state survives a failure; detection (:mod:`repro.fmi.detector`)
+decides who hears about it; this package is the third pillar -- the
+strategy that turns both into a running job again:
+
+* :class:`~repro.runtime.policy.GlobalRollback` (``recovery="global"``,
+  the default and the paper's behaviour): every rank unwinds to H1 and
+  restores the last coordinated checkpoint.
+* :class:`~repro.runtime.policy.PartialRollback` (``recovery="logged"``):
+  survivors keep computing; only restarted ranks restore, driven by the
+  sender-based message log and receiver determinants in
+  :class:`~repro.fmi.msglog.RecoveryPlane`.
+
+The strategy objects live in :mod:`repro.runtime.policy` (they are the
+``Survivable`` policy's recovery seam); the message-logging machinery
+lives in :mod:`repro.fmi.msglog`.  This package re-exports both so
+``repro.recovery`` is the one import for recovery-plane work.
+"""
+
+from repro.fmi.msglog import LogEntry, RecoveryPlane
+from repro.runtime.policy import (
+    GlobalRollback,
+    PartialRollback,
+    RecoveryStrategy,
+)
+
+__all__ = [
+    "RecoveryPlane",
+    "LogEntry",
+    "RecoveryStrategy",
+    "GlobalRollback",
+    "PartialRollback",
+]

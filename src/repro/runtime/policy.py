@@ -20,7 +20,66 @@ from repro.runtime.core import JobAborted, JobBase, RankProcess
 from repro.simt.kernel import Event
 from repro.simt.process import ProcessKilled
 
-__all__ = ["FaultPolicy", "FailStop", "Survivable"]
+__all__ = [
+    "FaultPolicy", "FailStop", "Survivable",
+    "RecoveryStrategy", "GlobalRollback", "PartialRollback",
+]
+
+
+class RecoveryStrategy:
+    """How a :class:`Survivable` job gets its ranks computing again.
+
+    Orthogonal to the :class:`~repro.fmi.redundancy.RedundancyScheme`
+    (what state survives) and to detection (who hears about a death):
+    this seam decides *which* ranks roll back and how the restarted
+    ones are re-admitted.  Selected per job via
+    ``FmiConfig(recovery=...)``.
+    """
+
+    #: config name this strategy answers to
+    name = "global"
+    #: whether a failure notification unwinds *every* rank to H1 (the
+    #: global rollback) or only the ranks that actually restarted
+    unwind_survivors = True
+    #: scope of the H1/H2 re-admission rendezvous: "world" gathers all
+    #: unfinished ranks; "slot" gathers only the restarted slot's
+    rendezvous_scope = "world"
+
+    def absorb_notification(self, rproc, generation: int) -> bool:
+        """True if ``rproc`` should record this failure notification
+        without acting on it (no unwind to H1)."""
+        return False
+
+
+class GlobalRollback(RecoveryStrategy):
+    """The paper's behaviour (and the default): every rank unwinds to
+    H1, re-rendezvouses world-wide, and restores the last coordinated
+    checkpoint."""
+
+
+class PartialRollback(RecoveryStrategy):
+    """Message-logging recovery (``recovery="logged"``): survivors keep
+    computing; only the restarted slot re-bootstraps, restores via a
+    sidecar group rebuild, and catches up from the sender-based logs in
+    :class:`~repro.fmi.msglog.RecoveryPlane`."""
+
+    name = "logged"
+    unwind_survivors = False
+    rendezvous_scope = "slot"
+
+    def __init__(self, plane):
+        self.plane = plane
+
+    def absorb_notification(self, rproc, generation: int) -> bool:
+        # Survivors absorb: their state is never rolled back, and the
+        # lseq dedup (not the epoch filter) guards their channels.  A
+        # rank caught *mid-restore* must unwind and retry, though: its
+        # sidecar rebuild ensemble may include the newly dead node.
+        return rproc.rank not in self.plane.recovering
+
+
+#: shared default instance (stateless)
+GLOBAL_ROLLBACK = GlobalRollback()
 
 
 class FaultPolicy:
@@ -152,6 +211,13 @@ class Survivable(FaultPolicy):
 
     def node_of_rank(self, rank: int) -> Node:
         return self.node_slots[self.job.slot_of_rank(rank)]
+
+    @property
+    def recovery_strategy(self) -> RecoveryStrategy:
+        """The job's recovery strategy (the seam the message-logging
+        plane mounts on); :class:`GlobalRollback` unless the job says
+        otherwise."""
+        return getattr(self.job, "recovery_strategy", GLOBAL_ROLLBACK)
 
     # -- per-node task factory (stack-specific) ------------------------------
     def make_task(self, slot: int, node: Node):

@@ -176,3 +176,44 @@ def test_multilevel_validation():
         multilevel_efficiency(-1, 0, 0, 0, 0, 0)
     with pytest.raises(ValueError):
         multilevel_efficiency(0, 0, -1, 0, 0, 0)
+
+
+# -------------------------------------------------------------- msglog model
+def test_log_volume_scales_linearly():
+    from repro.models.msglog_model import log_volume
+
+    base = log_volume(100.0, 1e4, 0.5, 2.0, keep=2)
+    assert base == pytest.approx(100.0 * 1e4 * 0.5 * 2.0 * 2)
+    assert log_volume(200.0, 1e4, 0.5, 2.0) == pytest.approx(2 * base)
+    assert log_volume(100.0, 1e4, 0.0, 2.0) == 0.0
+    with pytest.raises(ValueError):
+        log_volume(100.0, 1e4, 1.5, 2.0)
+    with pytest.raises(ValueError):
+        log_volume(100.0, 1e4, 0.5, 2.0, keep=0)
+
+
+def test_partial_beats_global_below_crossover():
+    from repro.models.msglog_model import (
+        global_recovery_latency,
+        partial_beats_global,
+        partial_recovery_latency,
+        replay_crossover_bytes,
+    )
+
+    kw = dict(s=1e8, group_size=16, mem_bw=1e10, net_bw=1e9)
+    cross = replay_crossover_bytes(
+        world_bootstrap_s=2.0, unit_bootstrap_s=0.1, net_bw=kw["net_bw"],
+    )
+    assert cross == pytest.approx(1.9 * 1e9)
+    for backlog, wins in ((0.5 * cross, True), (2.0 * cross, False)):
+        assert partial_beats_global(
+            world_bootstrap_s=2.0, unit_bootstrap_s=0.1,
+            replay_bytes=backlog, **kw,
+        ) is wins
+    # At zero backlog the gap is exactly the bootstrap saving.
+    gap = global_recovery_latency(
+        world_bootstrap_s=2.0, **kw
+    ) - partial_recovery_latency(
+        unit_bootstrap_s=0.1, replay_bytes=0.0, **kw
+    )
+    assert gap == pytest.approx(1.9)

@@ -1,0 +1,414 @@
+"""The message-logging recovery plane: unit + end-to-end coverage.
+
+Unit tests drive :class:`~repro.fmi.msglog.RecoveryPlane` against a
+stub job (channel sequencing, exact-once filter, GC, rewind).  The
+end-to-end tests run the same killed BSP job under ``recovery="logged"``
+and ``recovery="global"`` and require both to land bit-identical on the
+failure-free answer -- with the logged run's survivors never touching
+checkpoint restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import bsp_app, expected_bsp_state
+from repro.chaos.invariants import check_no_orphans
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.fmi.config import check_recovery_mode
+from repro.fmi.msglog import RecoveryPlane
+from repro.mpi.scr import Scr
+from repro.net.matching import ANY_SOURCE, ANY_TAG, MatchingEngine
+from repro.net.message import Envelope
+from repro.obs import Tracer
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+# ------------------------------------------------------------ unit fixtures
+class _StubJob:
+    """The minimal job surface RecoveryPlane reads: slot geometry,
+    liveness, and a simulator."""
+
+    def __init__(self, num_ranks=4, ppn=1):
+        self.sim = Simulator()
+        self.num_ranks = num_ranks
+        self.ppn = ppn
+        self.finished_ranks = set()
+        self.epoch = 0
+
+    def slot_of_rank(self, rank):
+        return rank // self.ppn
+
+
+def _env(src=0, dst=1, tag=0, nbytes=8.0, data=1.0, comm_id=0):
+    return Envelope(src=src, dst=dst, tag=tag, comm_id=comm_id, epoch=0,
+                    nbytes=nbytes, data=data)
+
+
+def make_plane(num_ranks=4, ppn=1):
+    job = _StubJob(num_ranks, ppn)
+    return job, RecoveryPlane(job)
+
+
+# ------------------------------------------------------------- send logging
+def test_on_send_stamps_per_channel_sequence():
+    _job, plane = make_plane()
+    envs = [_env(src=0, dst=1) for _ in range(3)] + [_env(src=0, dst=2)]
+    for e in envs[:3]:
+        plane.on_send(0, 1, e)
+    plane.on_send(0, 2, envs[3])
+    assert [e.lseq for e in envs] == [(0, 1, 0), (0, 1, 1), (0, 1, 2),
+                                      (0, 2, 0)]
+
+
+def test_same_slot_sends_are_stamped_but_not_logged():
+    _job, plane = make_plane(num_ranks=4, ppn=2)  # slots {0,1} {2,3}
+    intra, cross = _env(src=0, dst=1), _env(src=0, dst=2)
+    plane.on_send(0, 1, intra)
+    plane.on_send(0, 2, cross)
+    assert intra.lseq == (0, 1, 0) and cross.lseq == (0, 2, 0)
+    assert plane.log_entries == 1
+    assert [e.dst for e in plane.logs[0]] == [2]
+
+
+def test_accept_is_exact_once_per_lseq():
+    _job, plane = make_plane()
+    env = _env(src=0, dst=1)
+    plane.on_send(0, 1, env)
+    assert plane.accept(env) is True
+    assert plane.accept(env) is False  # the duplicate re-send
+    assert plane.dup_suppressed == 1
+    # A later message on the same channel still gets through.
+    nxt = _env(src=0, dst=1)
+    plane.on_send(0, 1, nxt)
+    assert plane.accept(nxt) is True
+
+
+# ------------------------------------------------------- GC and checkpoints
+def test_gc_waits_for_every_live_rank():
+    _job, plane = make_plane()
+    plane.on_send(0, 1, _env(src=0, dst=1))
+    # Only rank 0 has checkpointed: the stable floor is undefined.
+    plane.note_rank_checkpoint(0, 0)
+    assert plane.live_entries == 1 and plane.gc_entries == 0
+
+
+def test_gc_drops_entries_behind_the_stable_floor():
+    _job, plane = make_plane()
+    for r in range(4):
+        plane.note_rank_checkpoint(r, 0)
+    plane.on_send(0, 1, _env(src=0, dst=1))  # stamped ckpt_tag=0
+    for r in range(4):
+        plane.note_rank_checkpoint(r, 1)
+    # KEEP=2 retains {0,1}: the floor is still 0, nothing dropped.
+    assert plane.live_entries == 1
+    for r in range(4):
+        plane.note_rank_checkpoint(r, 2)
+    # Retained window is now {1,2}: the entry (ckpt_tag=0) is dead.
+    assert plane.live_entries == 0
+    assert plane.gc_entries == 1
+    assert plane.logs[0] == []
+
+
+def test_snapshot_window_matches_checkpoint_retention():
+    _job, plane = make_plane()
+    for ds in range(4):
+        plane.note_rank_checkpoint(0, ds)
+    assert (0, 0) not in plane.snapshots and (0, 1) not in plane.snapshots
+    assert (0, 2) in plane.snapshots and (0, 3) in plane.snapshots
+
+
+# ------------------------------------------------------------------ rewind
+def test_rewind_restores_counters_consumed_and_log_tail():
+    _job, plane = make_plane()
+    sink = plane.make_sink(1)
+    first = _env(src=0, dst=1)
+    plane.on_send(0, 1, first)          # (0,1,0)
+    plane.on_send(1, 2, _env(src=1, dst=2))  # rank 1's own send, n=0
+    sink(0, 0, first)                   # rank 1 consumed (0, 0)
+    plane.note_rank_checkpoint(1, 0)    # snapshot: counters {2:1}
+    plane.on_send(1, 2, _env(src=1, dst=2))  # post-snapshot send, n=1
+    later = _env(src=0, dst=1)
+    plane.on_send(0, 1, later)
+    sink(0, 0, later)                   # post-snapshot consumption
+    plane._rewind(1, 0)
+    assert plane.send_seq[(1, 2)] == 1          # counter rolled back
+    assert plane.consumed[1] == {(0, 0)}        # snapshot consumption
+    assert plane.seen[1] == {(0, 0)}            # delivery filter rebased
+    assert [e.n for e in plane.logs[1]] == [0]  # n=1 entry truncated
+    # The re-execution regenerates the truncated send with the same lseq.
+    redo = _env(src=1, dst=2)
+    plane.on_send(1, 2, redo)
+    assert redo.lseq == (1, 2, 1)
+
+
+def test_rewind_purges_the_live_matching_queue():
+    job, plane = make_plane()
+    matching = MatchingEngine(job.sim)
+    env = _env(src=0, dst=1)
+    plane.on_send(0, 1, env)
+    assert plane.accept(env)
+    matching.deliver(env)  # sits unexpected in the new incarnation
+    plane._rewind(1, None, matching)
+    # The queued copy is gone and its lseq erased from ``seen``: the
+    # replay is now the unique source of that logical message.
+    assert matching._unexpected_live == 0
+    assert plane.seen[1] == set()
+    assert plane.accept(env) is True
+
+
+# ------------------------------------------------------------- determinants
+def test_sink_records_only_wildcard_matches():
+    _job, plane = make_plane()
+    sink = plane.make_sink(1)
+    exact, wild = _env(src=0, dst=1), _env(src=2, dst=1, tag=7)
+    plane.on_send(0, 1, exact)
+    plane.on_send(2, 1, wild)
+    sink(0, 0, exact)              # exact post: consumption only
+    sink(ANY_SOURCE, 7, wild)      # wildcard post: determinant too
+    assert plane.consumed[1] == {(0, 0), (2, 0)}
+    assert plane.det_recorded == 1
+    det = plane.determinants[1][0]
+    assert (det.env_src, det.env_tag, det.lseq) == (2, 7, (2, 1, 0))
+
+
+def test_next_determinant_replays_in_order_then_stops():
+    _job, plane = make_plane()
+    sink = plane.make_sink(1)
+    for src in (3, 2):
+        env = _env(src=src, dst=1, tag=7)
+        plane.on_send(src, 1, env)
+        sink(ANY_SOURCE, 7, env)
+    plane.det_limit[1] = 2  # as _rewind sets: replay up to the death point
+    plane.det_cursor[1] = 0
+    assert plane.next_determinant(1, ANY_SOURCE, 7, 0).env_src == 3
+    assert plane.next_determinant(1, ANY_SOURCE, 7, 0).env_src == 2
+    assert plane.next_determinant(1, ANY_SOURCE, 7, 0) is None
+
+
+def test_next_determinant_mismatch_degrades_to_free_order():
+    _job, plane = make_plane()
+    sink = plane.make_sink(1)
+    env = _env(src=3, dst=1, tag=7)
+    plane.on_send(3, 1, env)
+    sink(ANY_SOURCE, 7, env)
+    plane.det_limit[1] = 1
+    plane.det_cursor[1] = 0
+    # Re-execution posts a different pattern than recorded: no rewrite,
+    # and the cursor jumps to the stop line so replay stays free-order.
+    assert plane.next_determinant(1, ANY_SOURCE, ANY_TAG, 0) is None
+    assert plane.det_mismatches == 1
+    assert plane.next_determinant(1, ANY_SOURCE, 7, 0) is None
+
+
+# ------------------------------------------------------ config and guards
+def test_recovery_mode_validation():
+    with pytest.raises(ValueError, match="unknown recovery mode"):
+        check_recovery_mode("bogus")
+    with pytest.raises(ValueError, match="unknown recovery mode"):
+        FmiConfig(recovery="bogus")
+    with pytest.raises(ValueError, match="multilevel"):
+        FmiConfig(recovery="logged", level2_every=2)
+    FmiConfig(recovery="logged")  # valid
+
+
+def test_scr_rejects_logged_recovery():
+    with pytest.raises(ValueError, match="fail-stop"):
+        Scr(None, procs_per_node=1, recovery="logged")
+
+
+# --------------------------------------------------------- orphan invariant
+class _FakeEvent:
+    def __init__(self, name, rank=0, ts=0.0, args=()):
+        self.name = name
+        self.rank = rank
+        self.ts = ts
+        self.args = dict(args)
+
+
+class _FakeTracer:
+    def __init__(self, events):
+        self.events = events
+
+
+def test_orphan_checker_flags_unrelogged_delivery():
+    ev = [
+        _FakeEvent("mlog.log", rank=1, ts=1.0, args={"dst": 0, "n": 5}),
+        _FakeEvent("net.recv", ts=1.1, args={"lseq": [1, 0, 5]}),
+        _FakeEvent("mlog.rewind", rank=1, ts=2.0,
+                   args={"counters": {"0": 5}}),
+    ]
+    violations = check_no_orphans(_FakeTracer(ev))
+    assert len(violations) == 1
+    assert "never re-logged" in violations[0].detail
+    # Re-executing the send after the rewind discharges the obligation.
+    ev.append(_FakeEvent("mlog.log", rank=1, ts=2.5,
+                         args={"dst": 0, "n": 5}))
+    assert check_no_orphans(_FakeTracer(ev)) == []
+
+
+def test_orphan_checker_ignores_messages_that_survive_the_rewind():
+    ev = [
+        _FakeEvent("mlog.log", rank=1, ts=1.0, args={"dst": 0, "n": 5}),
+        _FakeEvent("net.recv", ts=1.1, args={"lseq": [1, 0, 5]}),
+        # Counter 6 > n=5: the rewind kept the entry, no re-log needed.
+        _FakeEvent("mlog.rewind", rank=1, ts=2.0,
+                   args={"counters": {"0": 6}}),
+    ]
+    assert check_no_orphans(_FakeTracer(ev)) == []
+    assert check_no_orphans(_FakeTracer([])) == []
+
+
+# --------------------------------------------------------------- end to end
+ITERS = 6
+
+
+def run_bsp(recovery, kill_node=None, kill_time=1.6, seed=0, trace=False):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(6), RngRegistry(seed))
+    tracer = Tracer(sim) if trace else None
+    job = FmiJob(
+        machine, bsp_app(ITERS, work_s=0.25), num_ranks=8, procs_per_node=2,
+        config=FmiConfig(interval=1, xor_group_size=4, recovery=recovery),
+    )
+    done = job.launch()
+    if kill_node is not None:
+        def killer():
+            yield sim.timeout(kill_time)
+            machine.node(kill_node).crash("injected")
+        sim.spawn(killer())
+    results = sim.run(until=done)
+    return job, tracer, results
+
+
+def test_logged_recovery_matches_global_and_failure_free_bitwise():
+    _j0, _t, clean = run_bsp("global")
+    _j1, _t, logged = run_bsp("logged", kill_node=1)
+    _j2, _t, global_ = run_bsp("global", kill_node=1)
+    assert len(clean) == len(logged) == len(global_) == 8
+    for rank, (c, l, g) in enumerate(zip(clean, logged, global_)):
+        expect = expected_bsp_state(rank, 8, ITERS)
+        assert np.array_equal(c, expect)
+        assert np.array_equal(l, expect)
+        assert np.array_equal(g, expect)
+
+
+def test_logged_survivors_never_restore():
+    job, tracer, results = run_bsp("logged", kill_node=1, trace=True)
+    names = [ev.name for ev in tracer.events]
+    # Only the killed slot's two ranks restore, through the plane --
+    # the global checkpoint-restore path never runs.
+    assert names.count("mlog.restore.begin") == 2
+    assert names.count("ckpt.restore.begin") == 0
+    assert job.restores_done == 2
+    plane = job.recovery_plane
+    assert plane.partial_restores == 2
+    assert plane.replayed_msgs > 0
+    # Survivors kept their original incarnation throughout.
+    for rank in (0, 1, 4, 5, 6, 7):
+        assert job.rank_procs[rank].incarnation == 0
+    for rank in (2, 3):
+        assert job.rank_procs[rank].incarnation == 1
+    assert check_no_orphans(tracer) == []
+
+
+def test_global_mode_attaches_no_plane():
+    job, _tracer, _results = run_bsp("global")
+    assert job.recovery_plane is None
+    assert job.transport.recovery_filter is None
+
+
+# ------------------------------------------------- wildcard replay ordering
+def wildcard_app(rounds):
+    """Rank 0 drains its peers through ANY_SOURCE receives, spaced in
+    time so a kill can land *between* two matches of one drain.  The
+    accumulated sum is order-insensitive (exact in float64), so it must
+    come out bit-identical to the failure-free run iff every logical
+    message is consumed exactly once across the rollback; match *order*
+    correctness is asserted through the determinant machinery."""
+
+    def app(api):
+        u = np.zeros(2, dtype=np.float64)
+        yield from api.init()
+        while True:
+            n = yield from api.loop([u])
+            if n >= rounds:
+                break
+            yield api.elapse(0.2)
+            if api.rank == 0:
+                for _ in range(api.size - 1):
+                    yield api.elapse(0.01)
+                    val = yield from api.recv(source=ANY_SOURCE, tag=7)
+                    u[1] += val
+            else:
+                yield api.send(0, float(api.rank * 10 + n), tag=7)
+            yield from api.barrier()
+            u[0] = n + 1.0
+        yield from api.finalize()
+        return u.copy()
+
+    return app
+
+
+def run_wildcard(recovery, kill_after_dets=None, rounds=5):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(6), RngRegistry(0))
+    job = FmiJob(
+        machine, wildcard_app(rounds), num_ranks=8, procs_per_node=2,
+        config=FmiConfig(interval=1, xor_group_size=4, recovery=recovery),
+    )
+    done = job.launch()
+    if kill_after_dets is not None:
+        plane = job.recovery_plane
+
+        def killer():
+            # Land the crash mid-drain: right after the kill_after_dets-th
+            # wildcard match is recorded, with the drain still unfinished.
+            while plane.det_recorded < kill_after_dets:
+                yield sim.timeout(0.005)
+            machine.node(0).crash("injected")
+
+        sim.spawn(killer())
+    results = sim.run(until=done)
+    return job, results
+
+
+def test_determinants_reproduce_wildcard_match_order():
+    _j, clean = run_wildcard("logged")
+    # Kill rank 0's own slot three matches into an ANY_SOURCE drain:
+    # its re-execution re-posts those wildcards and the plane rewrites
+    # them to the recorded sources, in the recorded order.
+    job, killed = run_wildcard("logged", kill_after_dets=7 * 2 + 3)
+    plane = job.recovery_plane
+    assert plane.det_recorded > 0
+    # The death point sat mid-drain, so the rewind left a non-empty
+    # recorded window (cursor at the checkpoint's drain boundary, limit
+    # mid-drain) and every rewritten post matched its recorded message.
+    assert plane.det_limit[0] % 7 != 0
+    assert plane.det_cursor[0] == plane.det_limit[0]
+    assert plane.det_mismatches == 0
+    assert len(clean) == len(killed) == 8
+    for c, k in zip(clean, killed):
+        assert np.array_equal(c, k)
+
+
+# ----------------------------------------------------------- property test
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    kill_time=st.floats(min_value=0.9, max_value=2.4),
+    kill_node=st.integers(min_value=0, max_value=3),
+)
+def test_logged_answer_is_failure_free_for_any_single_kill(
+        kill_time, kill_node):
+    _job, _tracer, results = run_bsp(
+        "logged", kill_node=kill_node, kill_time=kill_time,
+    )
+    assert len(results) == 8
+    for rank, u in enumerate(results):
+        assert np.array_equal(u, expected_bsp_state(rank, 8, ITERS))
