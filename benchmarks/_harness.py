@@ -29,13 +29,34 @@ if SCALE not in ("smoke", "quick", "full"):
     raise ValueError(f"REPRO_BENCH_SCALE must be smoke/quick/full, not {SCALE!r}")
 FULL = SCALE == "full"
 
-#: Fig 12/13/14/15 x-axis (processes at 12 per node)
+#: Fig 12/13/14/15 x-axis (processes at 12 per node).  Overridable via
+#: ``REPRO_BENCH_PROCS`` (space/comma separated) so the figure benches
+#: can be pushed to macro-tier counts, e.g.::
+#:
+#:     REPRO_BENCH_PROCS="1536 6144 16128" REPRO_COLLECTIVES=macro \
+#:         python -m pytest benchmarks/bench_fig14_init_time.py ...
+#:
+#: (counts must stay divisible by :data:`PROCS_PER_NODE`; 16,128 is the
+#: closest 12-per-node count to 16k ranks)
 PROC_COUNTS: List[int] = {
     "smoke": [48, 96],
     "quick": [48, 96, 192, 384],
     "full": [48, 96, 192, 384, 768, 1536],
 }[SCALE]
+_PROCS_ENV = os.environ.get("REPRO_BENCH_PROCS", "").replace(",", " ").split()
+if _PROCS_ENV:
+    PROC_COUNTS = [int(tok) for tok in _PROCS_ENV]
 PROCS_PER_NODE = 12
+
+#: macro-tier x-axis for the engine throughput bench: process counts
+#: only the macro collective engine can sustain in CI-tolerable time.
+#: 16 ranks per node so 16,384 divides evenly (1,024 nodes).
+MACRO_PROC_COUNTS: List[int] = {
+    "smoke": [1536, 6144],
+    "quick": [1536, 6144, 16384],
+    "full": [1536, 6144, 16384],
+}[SCALE]
+MACRO_PROCS_PER_NODE = 16
 
 #: Fig 10/11 x-axis (redundancy group sizes, one rank per node)
 GROUP_SIZES: List[int] = {

@@ -7,12 +7,19 @@ second the hot path sustains at each process count.  It emits the
 machine-readable ``BENCH_<id>.json`` record (see ``_results.py``) that
 the perf-smoke CI job compares against the committed baseline.
 
-Two scenarios:
+Three scenarios:
 
 * ``engine_throughput`` -- an end-to-end :class:`MpiJob` running a
   collective- and halo-heavy synthetic app at 48..1,536 processes
   (scale-dependent), measuring events/sec and messages/sec through the
-  full kernel + matching + transport + collectives stack.
+  full kernel + matching + transport + collectives stack.  The hop
+  collective engine does the per-message work, so this is the oracle
+  tier.
+* ``engine_throughput_macro`` -- the same app at the macro tier
+  (1,536..16,384 processes): collectives complete through the
+  closed-form cost model + one :class:`BulkCompletion` event each,
+  while the halo exchange still exercises the per-message hot path.
+  This is the scale tier the 16k-rank figure runs ride on.
 * ``matcher_ops`` -- the matching engine driven directly with an
   incast-shaped post/deliver stream whose queue depth grows with the
   process count.  Runs both the indexed engine and the pre-refactor
@@ -23,14 +30,24 @@ Two scenarios:
 
 from __future__ import annotations
 
+import gc
+import os
 import time
 from typing import Dict, List
 
 import pytest
 
-from _harness import PROC_COUNTS, PROCS_PER_NODE, SCALE, make_machine
+from _harness import (
+    MACRO_PROC_COUNTS,
+    MACRO_PROCS_PER_NODE,
+    PROC_COUNTS,
+    PROCS_PER_NODE,
+    SCALE,
+    make_machine,
+)
 from _results import emit
 from repro.analysis.tables import Table
+from repro.mpi.collectives import set_collective_mode
 from repro.mpi.runtime import MpiJob
 from repro.net.matching import ANY_SOURCE, MatchingEngine
 from repro.net.matching_reference import ReferenceMatchingEngine
@@ -42,10 +59,23 @@ from repro.simt import Simulator
 ROUNDS = 6
 HALO_BYTES = 1024.0
 
+#: the perf-smoke CI job runs at smoke scale but still gates the
+#: 384-proc hop figure, so the hop sweep extends to 384 there (the
+#: extra point costs ~2 s of wall clock)
+HOP_PROC_COUNTS = (
+    sorted(set(PROC_COUNTS) | {384}) if SCALE == "smoke" else PROC_COUNTS
+)
+
 #: target messages per matcher measurement; rounds shrink as the incast
 #: widens so every point does comparable total work
 _MATCHER_TARGET_MSGS = 49_152
 _REFERENCE_TARGET_MSGS = 12_288
+
+#: wall clock on shared runners swings +-10%; each engine point is
+#: measured this many times and the fastest run recorded (the min-of-N
+#: convention pytest-benchmark itself uses) so the baseline gates track
+#: the code, not a noisy neighbour
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 
 
 # ---------------------------------------------------------------- engine
@@ -65,17 +95,47 @@ def _engine_app(rounds: int, msg_totals: Dict[int, int]):
     return app
 
 
-def measure_engine(nprocs: int) -> Dict[str, float]:
-    sim, machine = make_machine(nprocs // PROCS_PER_NODE, seed=nprocs)
-    msg_totals: Dict[int, int] = {}
-    job = MpiJob(machine, _engine_app(ROUNDS, msg_totals), nprocs,
-                 procs_per_node=PROCS_PER_NODE, charge_init=False)
-    t0 = time.perf_counter()
-    sim.run(until=job.launch())
-    wall = time.perf_counter() - t0
+def measure_engine(nprocs: int, ppn: int = PROCS_PER_NODE,
+                   mode: str = "hops") -> Dict[str, float]:
+    """One throughput point: best of ``REPEATS`` runs (fresh simulation
+    each -- a drained simulator cannot be rerun), collective engine
+    pinned to ``mode`` ("hops" keeps the scenario comparable across the
+    perf trajectory regardless of the session's ``REPRO_COLLECTIVES``)."""
+    best: Dict[str, float] = {}
+    for _ in range(max(1, REPEATS)):
+        entry = _measure_engine_once(nprocs, ppn, mode)
+        if not best or entry["events_per_sec"] > best["events_per_sec"]:
+            best = entry
+    return best
+
+
+def _measure_engine_once(nprocs: int, ppn: int,
+                         mode: str) -> Dict[str, float]:
+    prev = set_collective_mode(mode)
+    try:
+        sim, machine = make_machine(nprocs // ppn, seed=nprocs)
+        msg_totals: Dict[int, int] = {}
+        job = MpiJob(machine, _engine_app(ROUNDS, msg_totals), nprocs,
+                     procs_per_node=ppn, charge_init=False)
+        # Freeze the (large, long-lived) simulation object graph out of
+        # the collector's view for the timed region: at 16k ranks, gen2
+        # collections otherwise rescan millions of live objects and the
+        # measurement reads as event-loop cost.
+        gc.collect()
+        gc.freeze()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            sim.run(until=job.launch())
+            wall = time.perf_counter() - t0
+        finally:
+            gc.enable()
+            gc.unfreeze()
+    finally:
+        set_collective_mode(prev)
     events = sim.stats.events_processed
     msgs = sum(msg_totals.values())
-    return {
+    entry = {
         "procs": nprocs,
         "wall_clock_s": wall,
         "simulated_s": sim.now,
@@ -85,6 +145,24 @@ def measure_engine(nprocs: int) -> Dict[str, float]:
         "msgs": msgs,
         "msgs_per_sec": msgs / wall,
     }
+    macro = job.transport.macro
+    if macro is not None:
+        entry["macro_instances"] = macro.instances_macro
+        entry["macro_hop_fallbacks"] = macro.instances_hop
+    return entry
+
+
+def measure_engine_macro(nprocs: int) -> Dict[str, float]:
+    """One macro-tier point: same app, collective engine pinned macro.
+
+    ``msgs``/``msgs_per_sec`` count only the halo exchange here -- the
+    macro engine completes collectives without per-hop messages (that
+    is the point), so the hop tier's msg figures are not comparable.
+    """
+    entry = measure_engine(nprocs, ppn=MACRO_PROCS_PER_NODE, mode="macro")
+    assert entry.get("macro_instances", 0) == ROUNDS, entry
+    assert entry.get("macro_hop_fallbacks", 1) == 0, entry
+    return entry
 
 
 # --------------------------------------------------------------- matcher
@@ -144,10 +222,10 @@ def measure_matcher(nprocs: int) -> Dict[str, float]:
 
 # ----------------------------------------------------------------- tests
 def test_engine_throughput(benchmark):
-    measure_engine(PROC_COUNTS[0])  # warm the stack: the first point's
+    measure_engine(HOP_PROC_COUNTS[0])  # warm the stack: the first point's
     # 40 ms measurement must not pay import/alloc warm-up costs
     out: List[Dict[str, float]] = benchmark.pedantic(
-        lambda: [measure_engine(n) for n in PROC_COUNTS],
+        lambda: [measure_engine(n) for n in HOP_PROC_COUNTS],
         rounds=1, iterations=1,
     )
     table = Table(
@@ -167,7 +245,37 @@ def test_engine_throughput(benchmark):
     # largest point stays within 8x of the smallest point's rate (a
     # pure O(n) matcher would blow far past that at 384+).
     rates = {e["procs"]: e["events_per_sec"] for e in out}
-    assert rates[PROC_COUNTS[-1]] > rates[PROC_COUNTS[0]] / 8.0
+    assert rates[HOP_PROC_COUNTS[-1]] > rates[HOP_PROC_COUNTS[0]] / 8.0
+
+
+def test_engine_throughput_macro(benchmark):
+    out: List[Dict[str, float]] = benchmark.pedantic(
+        lambda: [measure_engine_macro(n) for n in MACRO_PROC_COUNTS],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        f"Engine throughput, macro tier ({SCALE}): {ROUNDS} rounds of "
+        f"allreduce + halo",
+        ["Procs", "wall s", "sim s", "events", "events/s",
+         "macro insts", "peak heap"],
+    )
+    for e in out:
+        table.add(e["procs"], round(e["wall_clock_s"], 2),
+                  round(e["simulated_s"], 4), int(e["events"]),
+                  int(e["events_per_sec"]), int(e["macro_instances"]),
+                  int(e["peak_heap"]))
+    table.show()
+    path = emit("engine_throughput_macro", SCALE, out)
+    print(f"wrote {path}")
+    # The scale-tier acceptance: every point must finish in
+    # CI-tolerable wall time (the 16,384-proc entry under a minute),
+    # and throughput must not collapse as the tier widens.
+    for e in out:
+        assert e["wall_clock_s"] < 60.0, (
+            f"macro tier took {e['wall_clock_s']:.1f}s at {e['procs']} procs"
+        )
+    rates = {e["procs"]: e["events_per_sec"] for e in out}
+    assert rates[MACRO_PROC_COUNTS[-1]] > rates[MACRO_PROC_COUNTS[0]] / 8.0
 
 
 def test_matcher_ops(benchmark):

@@ -223,9 +223,17 @@ class ChaosEngine:
         self.rng = rng
         self.injected: List[Tuple[float, str]] = []
         self._injectors: List[EventInjector] = []
+        self._macro_blocked = False
 
     # -- arming -----------------------------------------------------------
     def arm(self, scenario: Scenario) -> None:
+        # Chaos actions fire at arbitrary points; every collective in a
+        # chaos run keeps per-hop fidelity (campaigns also always trace,
+        # but the veto holds even for forced-macro experiment modes).
+        transport = getattr(self.job, "transport", None)
+        if transport is not None and not self._macro_blocked:
+            transport.block_macro()
+            self._macro_blocked = True
         for rule in scenario.rules:
             self._arm_rule(rule)
 
@@ -264,6 +272,9 @@ class ChaosEngine:
         for injector in self._injectors:
             injector.stop()
         self._injectors.clear()
+        if self._macro_blocked:
+            self._macro_blocked = False
+            self.job.transport.unblock_macro()
 
     # -- firing -----------------------------------------------------------
     def _record(self, desc: str) -> None:

@@ -172,11 +172,14 @@ class FailureInjector:
         if self._running:
             raise RuntimeError("injector already started")
         self._running = True
+        self.sim.fault_injectors += 1
         for ftype in self.types:
             self.sim.spawn(self._arrivals(ftype), name=f"fail:{ftype.name}")
 
     def stop(self) -> None:
-        self._running = False
+        if self._running:
+            self._running = False
+            self.sim.fault_injectors -= 1
 
     def _arrivals(self, ftype: FailureType):
         while self._running:
@@ -237,11 +240,15 @@ class TraceInjector:
         return cls(sim, [(r.time, list(r.nodes)) for r in records], kill)
 
     def start(self) -> None:
+        if not self._running:
+            self.sim.fault_injectors += 1
         self._running = True
         self.sim.spawn(self._replay(), name="trace-injector")
 
     def stop(self) -> None:
-        self._running = False
+        if self._running:
+            self._running = False
+            self.sim.fault_injectors -= 1
 
     def _replay(self):
         now = self.sim.now
@@ -316,11 +323,13 @@ class EventInjector:
         if self._armed:
             raise RuntimeError("injector already started")
         self._armed = True
+        self.sim.fault_injectors += 1
         tracer.add_listener(self._on_trace_event)
 
     def stop(self) -> None:
         if self._armed:
             self._armed = False
+            self.sim.fault_injectors -= 1
             self.sim.tracer.remove_listener(self._on_trace_event)
 
     def _on_trace_event(self, ev) -> None:
@@ -362,11 +371,15 @@ class MtbfInjector:
         self._running = False
 
     def start(self) -> None:
+        if not self._running:
+            self.sim.fault_injectors += 1
         self._running = True
         self.sim.spawn(self._arrivals(), name="mtbf-injector")
 
     def stop(self) -> None:
-        self._running = False
+        if self._running:
+            self._running = False
+            self.sim.fault_injectors -= 1
 
     def _arrivals(self):
         while self._running:
@@ -422,12 +435,16 @@ class LimpInjector:
         self._running = False
 
     def start(self) -> None:
+        if not self._running:
+            self.sim.fault_injectors += 1
         self._running = True
         self.sim.spawn(self._arrivals(), name="limp-injector")
 
     def stop(self) -> None:
         """Disarm and heal every currently limping node."""
-        self._running = False
+        if self._running:
+            self._running = False
+            self.sim.fault_injectors -= 1
         for node in self.nodes:
             if node.alive and node.limping:
                 node.clear_limp()

@@ -37,8 +37,15 @@ class Machine:
         self.pfs = ParallelFilesystem(sim, fs.pfs_bw, fs.pfs_latency)
         self.rm = ResourceManager(sim, self.nodes, grant_latency=spec.spare_grant_latency)
         self._death_listeners: List[Callable[[Node, Any], None]] = []
+        #: live limping nodes right now (O(1) for the macro-event
+        #: collective eligibility check; maintained via node sinks)
+        self.limping_count = 0
         for node in self.nodes:
             node.on_crash(self._node_crashed)
+            node._limp_sink = self._limp_transition
+
+    def _limp_transition(self, delta: int) -> None:
+        self.limping_count += delta
 
     # -- liveness -----------------------------------------------------------------
     def node(self, node_id: int) -> Node:

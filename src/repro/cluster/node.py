@@ -49,6 +49,10 @@ class Node:
         #: the node's network path down without killing anything.
         self.limp_bw = 1.0
         self.limp_latency = 1.0
+        #: healthy<->limping transition sink (set by Machine so it can
+        #: keep an O(1) ``limping_count`` for the macro-event
+        #: eligibility check); called with +1 / -1.
+        self._limp_sink: Any = None
 
     # -- process registry ------------------------------------------------------
     def register(self, proc: Process) -> Process:
@@ -101,8 +105,11 @@ class Node:
             raise NodeDownError(f"node {self.id} is down")
         if bw_factor < 1.0 or latency_factor < 1.0:
             raise ValueError("limp factors must be >= 1.0")
+        was_limping = self.limping
         self.limp_bw = float(bw_factor)
         self.limp_latency = float(latency_factor)
+        if self._limp_sink is not None and was_limping != self.limping:
+            self._limp_sink(1 if self.limping else -1)
         cap = self.spec.network.link_bw / self.limp_bw
         self.nic_tx.set_capacity(cap)
         self.nic_rx.set_capacity(cap)
@@ -130,6 +137,10 @@ class Node:
         if not self.alive:
             return
         self.alive = False
+        if self._limp_sink is not None and self.limping:
+            # A dead node no longer perturbs the fabric; stop counting
+            # it against the macro-event eligibility check.
+            self._limp_sink(-1)
         if self.sim.tracer.enabled:
             self.sim.tracer.instant(
                 "node.crash", "failure", node=self.id, cause=str(cause),

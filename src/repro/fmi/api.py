@@ -120,7 +120,17 @@ class FmiContext(ParallelApi):
         lost iterations.  Checkpoints are written on the first call and
         thereafter per the interval policy (fixed interval or
         Vaidya-tuned from the configured MTBF).
+
+        The whole call runs under :meth:`hop_fidelity`: checkpoint
+        rendezvous, restore agreement and log replay are exactly where
+        per-hop message timing is load-bearing, so the collectives
+        inside never take the macro-event fast path.
         """
+        with self.hop_fidelity():
+            result = yield from self._loop_impl(ckpts, nbytes)
+        return result
+
+    def _loop_impl(self, ckpts, nbytes):
         self._check_ok()
         rs = self.fproc.rank_state
         plane = self.fmi_job.recovery_plane
@@ -212,10 +222,15 @@ class FmiContext(ParallelApi):
         return meta, payloads
 
     def _agree_min(self, candidate: int):
-        """Job-wide agreement on the restore dataset (world MIN)."""
+        """Job-wide agreement on the restore dataset (world MIN).
+
+        Hop-fidelity even when driven outside :meth:`loop` (the
+        checkpoint engine takes this as its ``world_agree`` callback).
+        """
         from repro.mpi.ops import MIN
 
-        result = yield from self.allreduce(candidate, MIN)
+        with self.hop_fidelity():
+            result = yield from self.allreduce(candidate, MIN)
         return result
 
 

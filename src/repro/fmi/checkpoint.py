@@ -295,7 +295,18 @@ class CheckpointEngine:
     # ------------------------------------------------------------- checkpoint
     def checkpoint(self, payloads: Sequence[Payload], dataset_id: int):
         """Snapshot ``payloads``, encode redundancy across the group,
-        and mark the dataset complete (retaining the last ``KEEP``)."""
+        and mark the dataset complete (retaining the last ``KEEP``).
+
+        The rendezvous collectives (geometry agreement, meta
+        allgather/completion barrier) always run hop-level: the
+        interleaving of checkpoint traffic with failures is exactly
+        what the recovery experiments measure.
+        """
+        with self.comm.api.hop_fidelity():
+            meta = yield from self._checkpoint_impl(payloads, dataset_id)
+        return meta
+
+    def _checkpoint_impl(self, payloads, dataset_id):
         n = self.comm.size
         traced = self.sim.tracer.enabled
         t_total = self.sim.now
@@ -389,7 +400,10 @@ class CheckpointEngine:
         t0 = self.sim.now
         if self.sim.tracer.enabled:
             self._trace_mark("ckpt.restore.begin")
-        result = yield from self._restore_inner(world_agree, allow_beyond_xor)
+        # restore collectives are hop-level for the same reason the
+        # checkpoint rendezvous is
+        with self.comm.api.hop_fidelity():
+            result = yield from self._restore_inner(world_agree, allow_beyond_xor)
         if self.sim.tracer.enabled:
             if result == "beyond-xor":
                 outcome, dataset = "beyond-xor", None

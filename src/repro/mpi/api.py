@@ -14,13 +14,11 @@ specialise it:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.fmi.payload import Payload
 from repro.mpi.communicator import WORLD_ID, Communicator
-from repro.mpi.datatypes import sizeof
+from repro.mpi.datatypes import sizeof, snapshot
 from repro.net.matching import ANY_SOURCE, ANY_TAG
 from repro.net.message import Envelope
 from repro.net.transport import NetContext, Transport
@@ -59,13 +57,10 @@ class Request:
         return out
 
 
-def _snapshot(data: Any) -> Any:
-    """Copy mutable buffers at send time (buffered-send semantics)."""
-    if isinstance(data, np.ndarray):
-        return data.copy()
-    if isinstance(data, Payload):
-        return data.copy()
-    return data
+#: buffered-send copy semantics now live in ``datatypes`` (the
+#: macro-event collective path shares them); kept under the old name
+#: for callers inside this package.
+_snapshot = snapshot
 
 
 class ParallelApi:
@@ -83,10 +78,28 @@ class ParallelApi:
         self.world_rank = world_rank
         self.world_size = world_size
         self._comm_seq = WORLD_ID
-        self.world = Communicator(self, WORLD_ID, list(range(world_size)))
+        self.world = Communicator(self, WORLD_ID, range(world_size))
         #: bytes sent by this rank (observability)
         self.bytes_sent = 0.0
         self.msgs_sent = 0
+        #: while > 0, collectives issued through this API must run on
+        #: the hop-level engine (checkpoint rendezvous, restore
+        #: agreement -- sections where per-hop fidelity is load-bearing)
+        self._hop_only = 0
+
+    @contextmanager
+    def hop_fidelity(self):
+        """Scope in which this rank's collectives are macro-ineligible.
+
+        Callers are collective sections executed by every participating
+        rank together (SPMD), so the whole instance lands on the same
+        engine.
+        """
+        self._hop_only += 1
+        try:
+            yield
+        finally:
+            self._hop_only -= 1
 
     # -- specialisation hooks -----------------------------------------------
     def _check_ok(self) -> None:
@@ -113,7 +126,10 @@ class ParallelApi:
         self._check_ok()
         if not 0 <= dst < comm.size:
             raise ValueError(f"destination rank {dst} out of range")
-        size = sizeof(data) if nbytes is None else float(nbytes)
+        if nbytes is None:
+            size = sizeof(data)
+        else:
+            size = nbytes if nbytes.__class__ is float else float(nbytes)
         env = Envelope(
             src=comm.rank, dst=dst, tag=tag, comm_id=comm.id,
             epoch=self._epoch(), nbytes=size, data=_snapshot(data),

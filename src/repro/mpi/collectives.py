@@ -1,11 +1,32 @@
 """Collective algorithms over a communicator.
 
-Real message-passing algorithms (not analytic shortcuts): the cost of a
-collective emerges from the individual messages moving through the
-simulated fabric, so log-scaling, NIC contention and message-size
-effects come out of the same calibrated constants as everything else.
+Two engines sit behind every public collective:
 
-Algorithms (the usual MPICH choices):
+* The **hop-level** engine (the ``*_hops`` generators): real
+  message-passing algorithms, not analytic shortcuts -- the cost of a
+  collective emerges from the individual messages moving through the
+  simulated fabric, so log-scaling, NIC contention and message-size
+  effects come out of the same calibrated constants as everything
+  else.  This is the conformance oracle: its behaviour is the ground
+  truth the fast path is tested against.
+* The **macro-event** fast path (:mod:`repro.mpi.macro`): when
+  nothing makes per-hop fidelity load-bearing, the whole collective
+  becomes one closed-form-priced kernel event.  That is what makes
+  16k-rank simulations tractable.
+
+Selection -- mirroring the matching-engine seam in
+:mod:`repro.net.matching` -- reads ``REPRO_COLLECTIVES``:
+
+* ``auto`` (default): macro when eligible, transparent fallback to
+  hops under chaos/faults/partitions/limping/tracing/msglog/
+  checkpoint-rendezvous;
+* ``hops``: always the hop-level engine;
+* ``macro``: macro even under tracing (hard blockers still fall
+  back); for scale benchmarks that want the fast path unconditionally.
+
+Tests can override programmatically with :func:`set_collective_mode`.
+
+Hop-level algorithms (the usual MPICH choices):
 
 * ``bcast``      -- binomial tree
 * ``reduce``     -- binomial tree (commutative ops)
@@ -24,9 +45,10 @@ tag)`` and ``post_recv(src, tag)``.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, List, Optional
 
-from repro.mpi.datatypes import sizeof
+from repro.mpi.datatypes import sizeof, wire_bytes
 from repro.mpi.ops import SUM
 
 __all__ = [
@@ -39,6 +61,17 @@ __all__ = [
     "scatter",
     "alltoall",
     "allreduce_hier",
+    "bcast_hops",
+    "reduce_hops",
+    "allreduce_hops",
+    "barrier_hops",
+    "gather_hops",
+    "allgather_hops",
+    "scatter_hops",
+    "alltoall_hops",
+    "allreduce_hier_hops",
+    "collective_mode",
+    "set_collective_mode",
     "TAG_BCAST",
     "TAG_REDUCE",
     "TAG_ALLREDUCE",
@@ -66,12 +99,154 @@ TAG_HIER_DOWN = _BASE + 10
 
 _TINY = 4.0  # bytes of a zero-payload control message
 
+#: byte pricing shared with the macro path (repro.mpi.datatypes)
+_nbytes = wire_bytes
 
-def _nbytes(data: Any, nbytes: Optional[float]) -> float:
-    return sizeof(data) if nbytes is None else float(nbytes)
+
+# -- engine selection (same seam shape as net.matching) ----------------------
+
+_VALID_MODES = ("auto", "hops", "macro")
+
+#: programmatic override; None means "consult the environment"
+_MODE: Optional[str] = None
 
 
-def bcast(comm, value: Any = None, root: int = 0, nbytes: Optional[float] = None):
+def _resolve_default() -> str:
+    mode = os.environ.get("REPRO_COLLECTIVES", "auto").strip().lower()
+    if mode not in _VALID_MODES:
+        raise ValueError(
+            f"REPRO_COLLECTIVES={mode!r}: expected one of {_VALID_MODES}"
+        )
+    return mode
+
+
+def collective_mode() -> str:
+    """The engine mode collectives currently dispatch under."""
+    return _MODE if _MODE is not None else _resolve_default()
+
+
+def set_collective_mode(mode: Optional[str]) -> Optional[str]:
+    """Override the engine mode (``None`` restores env resolution).
+
+    Returns the previous override so tests can save/restore.
+    """
+    global _MODE
+    if mode is not None and mode not in _VALID_MODES:
+        raise ValueError(f"unknown collective mode {mode!r}")
+    prev = _MODE
+    _MODE = mode
+    return prev
+
+
+def _macro_instance(comm, kind: str):
+    """Consult the per-transport coordinator; ``None`` means hop path.
+
+    Single-rank communicators never consult (the hop generators
+    short-circuit them for free), so per-rank sequence counters stay
+    aligned across ranks trivially.
+    """
+    if comm.size == 1:
+        return None
+    mode = collective_mode()
+    if mode == "hops":
+        return None
+    transport = comm.api.transport
+    macro = transport.macro
+    if macro is None:
+        from repro.mpi.macro import MacroCollectives
+
+        macro = transport.macro = MacroCollectives(transport)
+    return macro.instance(comm, kind, mode)
+
+
+# -- public dispatchers ------------------------------------------------------
+
+
+def bcast(comm, value: Any = None, root: int = 0,
+          nbytes: Optional[float] = None):
+    """Broadcast; returns the root's value everywhere."""
+    inst = _macro_instance(comm, "bcast")
+    if inst is None:
+        return (yield from bcast_hops(comm, value, root, nbytes))
+    return (yield from inst.join(comm, (value, root, nbytes)))
+
+
+def reduce(comm, value: Any, op: Callable = SUM, root: int = 0,
+           nbytes: Optional[float] = None):
+    """Reduction; returns the result at root, None elsewhere."""
+    inst = _macro_instance(comm, "reduce")
+    if inst is None:
+        return (yield from reduce_hops(comm, value, op, root, nbytes))
+    return (yield from inst.join(comm, (value, op, root, nbytes)))
+
+
+def allreduce(comm, value: Any, op: Callable = SUM,
+              nbytes: Optional[float] = None):
+    """Allreduce; every rank returns the combined value."""
+    inst = _macro_instance(comm, "allreduce")
+    if inst is None:
+        return (yield from allreduce_hops(comm, value, op, nbytes))
+    return (yield from inst.join(comm, (value, op, nbytes)))
+
+
+def barrier(comm):
+    """Barrier; no rank exits before every rank has entered."""
+    inst = _macro_instance(comm, "barrier")
+    if inst is None:
+        return (yield from barrier_hops(comm))
+    return (yield from inst.join(comm, ()))
+
+
+def gather(comm, value: Any, root: int = 0,
+           nbytes: Optional[float] = None):
+    """Gather; root returns the list ordered by rank, None elsewhere."""
+    inst = _macro_instance(comm, "gather")
+    if inst is None:
+        return (yield from gather_hops(comm, value, root, nbytes))
+    return (yield from inst.join(comm, (value, root, nbytes)))
+
+
+def allgather(comm, value: Any, nbytes: Optional[float] = None):
+    """Allgather; every rank returns the list ordered by rank."""
+    inst = _macro_instance(comm, "allgather")
+    if inst is None:
+        return (yield from allgather_hops(comm, value, nbytes))
+    return (yield from inst.join(comm, (value, nbytes)))
+
+
+def scatter(comm, values: Optional[List[Any]] = None, root: int = 0,
+            nbytes: Optional[float] = None):
+    """Scatter; rank i returns values[i] from the root."""
+    inst = _macro_instance(comm, "scatter")
+    if inst is None:
+        return (yield from scatter_hops(comm, values, root, nbytes))
+    return (yield from inst.join(comm, (values, root, nbytes)))
+
+
+def alltoall(comm, values: List[Any], nbytes: Optional[float] = None):
+    """All-to-all personalized exchange; values[i] goes to rank i."""
+    inst = _macro_instance(comm, "alltoall")
+    if inst is None:
+        return (yield from alltoall_hops(comm, values, nbytes))
+    return (yield from inst.join(comm, (values, nbytes)))
+
+
+def allreduce_hier(comm, value: Any, op: Callable = SUM,
+                   nbytes: Optional[float] = None,
+                   procs_per_node: int = 1):
+    """Topology-aware allreduce (see :func:`allreduce_hier_hops`)."""
+    inst = _macro_instance(comm, "allreduce_hier")
+    if inst is None:
+        return (yield from allreduce_hier_hops(
+            comm, value, op, nbytes, procs_per_node))
+    return (yield from inst.join(
+        comm, (value, op, nbytes, max(1, procs_per_node))))
+
+
+# -- hop-level engine (the conformance oracle) -------------------------------
+
+
+def bcast_hops(comm, value: Any = None, root: int = 0, nbytes: Optional[float] = None):
     """Binomial-tree broadcast; returns the root's value everywhere."""
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -97,8 +272,8 @@ def bcast(comm, value: Any = None, root: int = 0, nbytes: Optional[float] = None
     return value
 
 
-def reduce(comm, value: Any, op: Callable = SUM, root: int = 0,
-           nbytes: Optional[float] = None):
+def reduce_hops(comm, value: Any, op: Callable = SUM, root: int = 0,
+                nbytes: Optional[float] = None):
     """Binomial-tree reduction; returns the result at root, None elsewhere."""
     size, rank = comm.size, comm.rank
     nbytes = _nbytes(value, nbytes)
@@ -120,7 +295,8 @@ def reduce(comm, value: Any, op: Callable = SUM, root: int = 0,
     return acc
 
 
-def allreduce(comm, value: Any, op: Callable = SUM, nbytes: Optional[float] = None):
+def allreduce_hops(comm, value: Any, op: Callable = SUM,
+                   nbytes: Optional[float] = None):
     """Recursive-doubling allreduce (handles non-power-of-two sizes)."""
     size, rank = comm.size, comm.rank
     nbytes = _nbytes(value, nbytes)
@@ -172,7 +348,7 @@ def allreduce(comm, value: Any, op: Callable = SUM, nbytes: Optional[float] = No
     return acc
 
 
-def barrier(comm):
+def barrier_hops(comm):
     """Dissemination barrier: ceil(log2 n) rounds of tiny messages."""
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -189,7 +365,8 @@ def barrier(comm):
         mask <<= 1
 
 
-def gather(comm, value: Any, root: int = 0, nbytes: Optional[float] = None):
+def gather_hops(comm, value: Any, root: int = 0,
+                nbytes: Optional[float] = None):
     """Binomial-tree gather; root returns the list ordered by rank."""
     size, rank = comm.size, comm.rank
     nbytes = _nbytes(value, nbytes)
@@ -211,7 +388,7 @@ def gather(comm, value: Any, root: int = 0, nbytes: Optional[float] = None):
     return [items[r] for r in range(size)]
 
 
-def allgather(comm, value: Any, nbytes: Optional[float] = None):
+def allgather_hops(comm, value: Any, nbytes: Optional[float] = None):
     """Ring allgather: size-1 steps, each forwarding one block."""
     size, rank = comm.size, comm.rank
     nbytes = _nbytes(value, nbytes)
@@ -234,25 +411,28 @@ def allgather(comm, value: Any, nbytes: Optional[float] = None):
     return blocks
 
 
-def scatter(comm, values: Optional[List[Any]] = None, root: int = 0,
-            nbytes: Optional[float] = None):
+def scatter_hops(comm, values: Optional[List[Any]] = None, root: int = 0,
+                 nbytes: Optional[float] = None):
     """Root sends item i to rank i (linear; fine for small comms)."""
     size, rank = comm.size, comm.rank
     if rank == root:
         if values is None or len(values) != size:
             raise ValueError("root must pass one value per rank")
-        per = _nbytes(values[0], nbytes)
         for dst in range(size):
             if dst != root:
-                yield comm.send_async(dst, values[dst], per, TAG_SCATTER)
+                # price each destination's own item (an explicit
+                # nbytes still applies uniformly)
+                yield comm.send_async(
+                    dst, values[dst], _nbytes(values[dst], nbytes), TAG_SCATTER
+                )
         return values[root]
     env = yield comm.post_recv(root, TAG_SCATTER)
     return env.data
 
 
-def allreduce_hier(comm, value: Any, op: Callable = SUM,
-                   nbytes: Optional[float] = None,
-                   procs_per_node: int = 1):
+def allreduce_hier_hops(comm, value: Any, op: Callable = SUM,
+                        nbytes: Optional[float] = None,
+                        procs_per_node: int = 1):
     """Topology-aware allreduce: reduce to a per-node leader through
     shared memory, recursive-double among leaders over the fabric,
     then broadcast back intra-node.
@@ -266,7 +446,7 @@ def allreduce_hier(comm, value: Any, op: Callable = SUM,
     nbytes = _nbytes(value, nbytes)
     P = max(1, procs_per_node)
     if P == 1 or size <= P:
-        result = yield from allreduce(comm, value, op, nbytes)
+        result = yield from allreduce_hops(comm, value, op, nbytes)
         return result
     if size % P != 0:
         raise ValueError("size must be a multiple of procs_per_node")
@@ -324,12 +504,11 @@ def allreduce_hier(comm, value: Any, op: Callable = SUM,
     return acc
 
 
-def alltoall(comm, values: List[Any], nbytes: Optional[float] = None):
+def alltoall_hops(comm, values: List[Any], nbytes: Optional[float] = None):
     """Pairwise exchange on a ring schedule; values[i] goes to rank i."""
     size, rank = comm.size, comm.rank
     if len(values) != size:
         raise ValueError("alltoall needs one value per rank")
-    per = _nbytes(values[0], nbytes)
     result: List[Any] = [None] * size
     result[rank] = values[rank]
     post_recv = comm.post_recv
@@ -338,7 +517,10 @@ def alltoall(comm, values: List[Any], nbytes: Optional[float] = None):
         dst = (rank + step) % size
         src = (rank - step) % size
         recv_evt = post_recv(src, TAG_ALLTOALL)
-        yield send_async(dst, values[dst], per, TAG_ALLTOALL)
+        # price each destination's own item, not values[0]'s size
+        yield send_async(
+            dst, values[dst], _nbytes(values[dst], nbytes), TAG_ALLTOALL
+        )
         env = yield recv_evt
         result[src] = env.data
     return result

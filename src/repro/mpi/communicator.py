@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.mpi import collectives
+from repro.mpi.ops import SUM
 from repro.net.matching import ANY_SOURCE, ANY_TAG
 
 __all__ = ["Communicator"]
@@ -32,7 +33,10 @@ class Communicator:
             raise ValueError("cannot build a communicator I am not a member of")
         self.api = api
         self.id = comm_id
-        self.members = list(members)
+        # A ``range`` is kept as-is: it is immutable, O(1) to index both
+        # ways, and costs no per-rank memory -- at 16k ranks a copied
+        # world members list would be O(n^2) bytes across the job.
+        self.members = members if type(members) is range else list(members)
         self.rank = self.members.index(api.world_rank)
         self.size = len(self.members)
 
@@ -69,13 +73,9 @@ class Communicator:
         return collectives.bcast(self, value, root, nbytes)
 
     def reduce(self, value: Any, op=None, root: int = 0, nbytes=None):
-        from repro.mpi.ops import SUM
-
         return collectives.reduce(self, value, op or SUM, root, nbytes)
 
     def allreduce(self, value: Any, op=None, nbytes: Optional[float] = None):
-        from repro.mpi.ops import SUM
-
         return collectives.allreduce(self, value, op or SUM, nbytes)
 
     def gather(self, value: Any, root: int = 0, nbytes=None):

@@ -6,7 +6,42 @@ import numpy as np
 
 from repro.fmi.payload import Payload
 
-__all__ = ["sizeof"]
+__all__ = ["sizeof", "snapshot", "wire_bytes"]
+
+
+def wire_bytes(data, nbytes=None) -> float:
+    """The byte count a message carrying ``data`` is priced at.
+
+    The caller's explicit ``nbytes`` wins; otherwise the payload is
+    sized with :func:`sizeof`.  The hop-level collectives and the
+    macro-event cost model both price through this one helper, so the
+    two paths can never disagree on byte counts.
+    """
+    return sizeof(data) if nbytes is None else float(nbytes)
+
+
+#: exact classes that never need copying -- checked first because the
+#: collective fold paths call :func:`snapshot` O(n log n) times per
+#: instance and scalar payloads are the overwhelmingly common case
+_IMMUTABLE = frozenset({
+    int, float, bool, str, bytes, complex, type(None), tuple, frozenset,
+})
+
+
+def snapshot(data):
+    """Copy mutable buffers at send time (buffered-send semantics).
+
+    Immutable payloads pass through; the macro-event collective path
+    calls this exactly where the hop-level path would have copied at a
+    ``send_async``, so both produce byte-identical results.
+    """
+    if data.__class__ in _IMMUTABLE:
+        return data
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, Payload):
+        return data.copy()
+    return data
 
 #: envelope/marshalling overhead assumed for small Python objects
 _DEFAULT_OBJECT_BYTES = 64.0

@@ -1,0 +1,429 @@
+"""Macro-event collective coordinator: the scale-tier fast path.
+
+When the network is nominal and nobody is watching individual hops,
+running a 16k-rank allreduce as tens of thousands of per-message
+events buys nothing -- the outcome is fully determined by the
+algorithm, the payload sizes and the calibrated fabric constants.
+This module exploits that: every rank entering a collective *joins* a
+shared per-transport instance instead of exchanging messages; when the
+last rank arrives the coordinator
+
+1. replays the hop algorithm's exact data movement in plain Python
+   (same fold order, same ``snapshot`` copy points), producing
+   byte-identical per-rank results, and
+2. prices the collective once with the closed-form model in
+   :mod:`repro.models.collective_model`, then schedules a **single**
+   :class:`~repro.simt.kernel.BulkCompletion` that resumes every rank
+   at ``t_last_join + T_model``.
+
+That last point is the one deliberate approximation: completion is
+bulk-synchronous (all ranks resume together at the instance's
+completion time), whereas the hop engine lets, say, an early scatter
+destination continue before the root has served the rest.  The
+conformance suite therefore compares *collective* completion times
+(the max over ranks), which the model reproduces.
+
+Eligibility
+-----------
+
+A rank consults the coordinator on *every* collective call (keeping
+per-rank sequence numbers aligned), but the macro/hop verdict is
+latched by the **first** rank to arrive and applies to the whole
+instance -- mixed engines within one collective would deadlock.  The
+verdict is hop-level whenever:
+
+* the calling rank is inside an :meth:`ParallelApi.hop_fidelity`
+  scope (checkpoint rendezvous, restore agreement, msglog replay);
+* :meth:`Transport.hop_fidelity_reason` reports armed injectors,
+  omission faults, partitions, limping nodes, a recovery filter, or
+  enabled tracing/metrics ("observability" is overridden when the
+  mode is forced to ``macro``).
+
+Bookkeeping invariants:
+
+* instances are keyed ``(comm_id, kind, n)`` where ``n`` is the
+  per-rank call count -- FIFO alignment exactly mirrors the tag-based
+  matching of the hop engine;
+* :meth:`MacroCollectives.reset` (called from recovery's
+  ``begin_recovery`` via :meth:`Transport.macro_reset`) cancels every
+  in-flight instance and clears the sequence counters, so a rolled
+  back world replays its collective sequence from a clean slate.
+
+The macro path does **not** tick ``api.msgs_sent`` / ``bytes_sent``
+or the fabric counters -- there are no messages.  Workloads that
+assert on those must run with ``REPRO_COLLECTIVES=hops`` (or under
+tracing, which falls back automatically).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.models.collective_model import NetParams, collective_time
+from repro.mpi.datatypes import snapshot, wire_bytes
+from repro.simt.kernel import _PENDING, BulkCompletion, Event
+
+__all__ = ["MacroCollectives"]
+
+#: bytes of a zero-payload control message (kept in sync with the hop
+#: engine's ``collectives._TINY``)
+_TINY = 4.0
+
+
+def _sig(per: List[float]):
+    """Hashable size signature: a scalar when uniform (the common
+    case, and what keeps the timing memo small), else a tuple."""
+    first = per[0]
+    for p in per:
+        if p != first:
+            return tuple(per)
+    return first
+
+
+class _Instance:
+    """One collective occurrence: who has arrived, with what args."""
+
+    __slots__ = ("coord", "kind", "size", "verdict", "consulted",
+                 "order", "args", "events", "bulk")
+
+    def __init__(self, coord: "MacroCollectives", kind: str, size: int,
+                 verdict: Optional[str]):
+        self.coord = coord
+        self.kind = kind
+        self.size = size
+        #: None -> macro; otherwise the hop-fidelity reason string
+        self.verdict = verdict
+        self.consulted = 0
+        #: ranks in join order (the hier intra-node fold order)
+        self.order: List[int] = []
+        # rank-indexed; every slot is filled by the time _complete runs
+        self.args: List[Optional[tuple]] = [None] * size
+        self.events: List[Optional[Event]] = [None] * size
+        self.bulk: Optional[BulkCompletion] = None
+
+    def join(self, comm, args: tuple):
+        """Generator a rank drives instead of the hop algorithm.
+
+        Raises exactly what (and when) the hop path would: the FMI
+        failure-notification check and the argument validations all
+        fire on the caller's first ``next()``.
+        """
+        api = comm.api
+        api._check_ok()
+        kind = self.kind
+        if kind == "scatter":
+            values, root = args[0], args[1]
+            if comm.rank == root and (values is None or len(values) != comm.size):
+                raise ValueError("root must pass one value per rank")
+        elif kind == "alltoall":
+            if len(args[0]) != comm.size:
+                raise ValueError("alltoall needs one value per rank")
+        elif kind == "allreduce_hier":
+            P = args[3]
+            if 1 < P < comm.size and comm.size % P != 0:
+                raise ValueError("size must be a multiple of procs_per_node")
+        evt = Event(api.sim)
+        self.args[comm.rank] = args
+        self.events[comm.rank] = evt
+        self.order.append(comm.rank)
+        if len(self.order) == self.size:
+            self.coord._complete(self, comm)
+        result = yield evt
+        return result
+
+
+class MacroCollectives:
+    """Per-transport rendezvous for the macro-event fast path.
+
+    One lives lazily on ``transport.macro``; every rank of the job
+    shares it, which is what lets a collective become a single object
+    instead of a message pattern.
+    """
+
+    def __init__(self, transport):
+        self.transport = transport
+        #: per-rank collective call counters: (comm_id, kind, rank) -> n
+        self._seq: Dict[Tuple[int, str, int], int] = {}
+        #: instances not yet consulted by every rank
+        self._pending: Dict[Tuple[int, str, int], _Instance] = {}
+        #: macro instances whose completion has not fired yet
+        self._live: set = set()
+        #: memoized model times and rank->node placements
+        self._times: Dict[tuple, float] = {}
+        self._nodes_cache: Dict[int, tuple] = {}
+        self._net: Optional[NetParams] = None
+        # -- counters (observability without tracing) --
+        self.instances_macro = 0
+        self.instances_hop = 0
+        self.macro_events = 0
+        self.resets = 0
+        #: hop-fidelity reason -> count
+        self.fallbacks: Dict[str, int] = {}
+
+    # -- eligibility ------------------------------------------------------
+    def _verdict(self, api, mode: str) -> Optional[str]:
+        if api._hop_only:
+            return "checkpoint"
+        reason = self.transport.hop_fidelity_reason()
+        if reason == "observability" and mode == "macro":
+            return None  # forced mode trades trace fidelity for speed
+        return reason
+
+    def instance(self, comm, kind: str, mode: str) -> Optional[_Instance]:
+        """Consult (and advance) this rank's collective sequence.
+
+        Returns the instance to :meth:`_Instance.join` when the
+        latched verdict is macro, or ``None`` to send the caller down
+        the hop path.  Either way the sequence counter moved, so all
+        ranks stay aligned call-for-call.
+
+        Keys carry the caller's recovery epoch -- the macro analogue
+        of epoch-stamped envelopes.  A survivor still running the
+        pre-failure timeline joins an old-epoch instance that can
+        never fill (it blocks until its failure notification arrives,
+        exactly as it would on a hop-level recv), while the
+        post-recovery replay realigns from call zero under the new
+        epoch.
+        """
+        epoch = comm.api._epoch()
+        seq_key = (epoch, comm.id, kind, comm.rank)
+        n = self._seq.get(seq_key, 0)
+        self._seq[seq_key] = n + 1
+        key = (epoch, comm.id, kind, n)
+        inst = self._pending.get(key)
+        if inst is None:
+            verdict = self._verdict(comm.api, mode)
+            inst = _Instance(self, kind, comm.size, verdict)
+            self._pending[key] = inst
+            if verdict is None:
+                self.instances_macro += 1
+                self._live.add(inst)
+            else:
+                self.instances_hop += 1
+                self.fallbacks[verdict] = self.fallbacks.get(verdict, 0) + 1
+        inst.consulted += 1
+        if inst.consulted == inst.size:
+            del self._pending[key]
+        return inst if inst.verdict is None else None
+
+    # -- completion -------------------------------------------------------
+    def _complete(self, inst: _Instance, comm) -> None:
+        """Last rank arrived: compute results, price, schedule."""
+        results, sizes_sig, root, ppn = _FINISH[inst.kind](inst)
+        duration = self._duration(comm, inst.kind, sizes_sig, root, ppn)
+        batch = [(inst.events[r], results[r]) for r in range(inst.size)]
+        inst.bulk = BulkCompletion(self.transport.sim, duration, batch)
+        inst.bulk.callbacks.append(lambda _e: self._live.discard(inst))
+        self.macro_events += 1
+
+    def _duration(self, comm, kind: str, sizes_sig, root: int,
+                  ppn: int) -> float:
+        key = (kind, comm.id, root, ppn, sizes_sig)
+        t = self._times.get(key)
+        if t is None:
+            nodes = self._nodes_cache.get(comm.id)
+            if nodes is None:
+                route = comm.api._route
+                nodes = tuple(route(w)[0] for w in comm.members)
+                self._nodes_cache[comm.id] = nodes
+            if self._net is None:
+                self._net = NetParams.from_transport(self.transport)
+            t = collective_time(kind, nodes, sizes_sig, self._net,
+                                root=root, procs_per_node=ppn)
+            self._times[key] = t
+        return t
+
+    # -- recovery ---------------------------------------------------------
+    def reset(self) -> None:
+        """Cancel everything in flight and forget the sequence state.
+
+        Called when a recovery rolls the application back: the
+        collective calls that were pending belong to a dead timeline,
+        and the replay after restart must realign from call zero.
+        Placement/timing memos go too -- a respawned rank may live on
+        a different node.
+        """
+        for inst in self._live:
+            if inst.bulk is not None:
+                inst.bulk.cancel()
+            for evt in inst.events:
+                if evt is not None and evt._value is _PENDING and not evt._cancelled:
+                    evt.cancel()
+        self._live.clear()
+        self._pending.clear()
+        self._seq.clear()
+        self._times.clear()
+        self._nodes_cache.clear()
+        self.resets += 1
+
+
+# ---------------------------------------------------------------------------
+# Result replay: each function reproduces the hop algorithm's data
+# movement exactly -- same fold order, snapshot() at every point the
+# hop path's send_async would have copied -- and returns
+# (per-rank results, size signature, root, procs_per_node).
+# ---------------------------------------------------------------------------
+
+
+def _finish_bcast(inst: _Instance):
+    size, args = inst.size, inst.args
+    root = args[0][1]
+    value, _, nbytes = args[root]
+    b = wire_bytes(value, nbytes)
+    # each hop edge copies at the parent's send, so every non-root
+    # rank ends up with its own copy of the root's value
+    results = [value if r == root else snapshot(value) for r in range(size)]
+    return results, b, root, 1
+
+
+def _allreduce_results(vals: List[Any], ops: List[Any], size: int) -> List[Any]:
+    """Recursive doubling, replayed: pairwise pre-fold, the masked
+    exchange rounds over simultaneous pre-round accumulators, and the
+    post-step push-back."""
+    snap = snapshot
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    acc = list(vals)
+    for r in range(0, 2 * rem, 2):
+        acc[r + 1] = ops[r + 1](acc[r + 1], snap(acc[r]))
+
+    def realrank(nr: int) -> int:
+        return nr * 2 + 1 if nr < rem else nr + rem
+
+    ranks = [realrank(nr) for nr in range(pof2)]
+    mask = 1
+    while mask < pof2:
+        cur = [acc[r] for r in ranks]  # both sides send pre-round accs
+        for nr in range(pof2):
+            a = ranks[nr]
+            acc[a] = ops[a](cur[nr], snap(cur[nr ^ mask]))
+        mask <<= 1
+    for r in range(0, 2 * rem, 2):
+        acc[r] = snap(acc[r + 1])
+    return acc
+
+
+def _finish_allreduce(inst: _Instance):
+    size, args = inst.size, inst.args
+    vals = [args[r][0] for r in range(size)]
+    ops = [args[r][1] for r in range(size)]
+    per = [wire_bytes(vals[r], args[r][2]) for r in range(size)]
+    return _allreduce_results(vals, ops, size), _sig(per), 0, 1
+
+
+def _finish_reduce(inst: _Instance):
+    size, args = inst.size, inst.args
+    root = args[0][2]
+    per = [wire_bytes(args[r][0], args[r][3]) for r in range(size)]
+    # rel-indexed accumulators; mask-major order means a sender's acc
+    # is final (all its smaller-mask fold-ins done) when it is folded
+    acc = [args[(rel + root) % size][0] for rel in range(size)]
+    ops = [args[(rel + root) % size][1] for rel in range(size)]
+    mask = 1
+    while mask < size:
+        for rel in range(0, size - mask, mask << 1):
+            acc[rel] = ops[rel](acc[rel], snapshot(acc[rel + mask]))
+        mask <<= 1
+    results: List[Any] = [None] * size
+    results[root] = acc[0]
+    return results, _sig(per), root, 1
+
+
+def _finish_barrier(inst: _Instance):
+    return [None] * inst.size, _TINY, 0, 1
+
+
+def _finish_gather(inst: _Instance):
+    size, args = inst.size, inst.args
+    root = args[0][1]
+    per = [wire_bytes(args[r][0], args[r][2]) for r in range(size)]
+    results: List[Any] = [None] * size
+    # the dicts pass through snapshot uncopied, so the root's list
+    # holds the senders' original objects -- exactly like the hop path
+    results[root] = [args[r][0] for r in range(size)]
+    return results, _sig(per), root, 1
+
+
+def _finish_allgather(inst: _Instance):
+    size, args = inst.size, inst.args
+    vals = [args[r][0] for r in range(size)]
+    per = [wire_bytes(vals[r], args[r][1]) for r in range(size)]
+    # ring blocks travel inside (idx, blk) tuples, which snapshot
+    # passes through -- every rank shares the originals
+    results = [list(vals) for _ in range(size)]
+    return results, _sig(per), 0, 1
+
+
+def _finish_scatter(inst: _Instance):
+    size, args = inst.size, inst.args
+    root = args[0][1]
+    values, _, nbytes = args[root]
+    per = [wire_bytes(values[d], nbytes) for d in range(size)]
+    results = [
+        values[r] if r == root else snapshot(values[r]) for r in range(size)
+    ]
+    return results, _sig(per), root, 1
+
+
+def _finish_alltoall(inst: _Instance):
+    size, args = inst.size, inst.args
+    matrix = [
+        [wire_bytes(args[s][0][d], args[s][1]) for d in range(size)]
+        for s in range(size)
+    ]
+    flat0 = matrix[0][0]
+    uniform = all(m == flat0 for row in matrix for m in row)
+    results = []
+    for r in range(size):
+        row = [
+            args[r][0][r] if s == r else snapshot(args[s][0][r])
+            for s in range(size)
+        ]
+        results.append(row)
+    sig = flat0 if uniform else tuple(tuple(row) for row in matrix)
+    return results, sig, 0, 1
+
+
+def _finish_hier(inst: _Instance):
+    size, args = inst.size, inst.args
+    vals = [args[r][0] for r in range(size)]
+    ops = [args[r][1] for r in range(size)]
+    per = [wire_bytes(vals[r], args[r][2]) for r in range(size)]
+    P = args[0][3]
+    if P == 1 or size <= P:
+        # the hop path delegates to plain allreduce here; so do we
+        return _allreduce_results(vals, ops, size), _sig(per), 0, P
+    leaders = list(range(0, size, P))
+    # the leader folds ANY_SOURCE receives in arrival order; join
+    # order is the macro-world equivalent of that delivery order
+    pos = {r: i for i, r in enumerate(inst.order)}
+    lead_acc = []
+    for lead in leaders:
+        locals_ = sorted(range(lead + 1, lead + P), key=pos.__getitem__)
+        a = vals[lead]
+        for r in locals_:
+            a = ops[lead](a, snapshot(vals[r]))
+        lead_acc.append(a)
+    lead_res = _allreduce_results(lead_acc, [ops[l] for l in leaders],
+                                  len(leaders))
+    results: List[Any] = [None] * size
+    for i, lead in enumerate(leaders):
+        results[lead] = lead_res[i]
+        for r in range(lead + 1, lead + P):
+            results[r] = snapshot(lead_res[i])
+    return results, _sig(per), 0, P
+
+
+_FINISH = {
+    "bcast": _finish_bcast,
+    "reduce": _finish_reduce,
+    "allreduce": _finish_allreduce,
+    "barrier": _finish_barrier,
+    "gather": _finish_gather,
+    "allgather": _finish_allgather,
+    "scatter": _finish_scatter,
+    "alltoall": _finish_alltoall,
+    "allreduce_hier": _finish_hier,
+}

@@ -14,6 +14,11 @@ __all__ = ["SUM", "MAX", "MIN", "PROD", "LOR", "LAND"]
 
 def _elementwise(scalar_fn, array_fn):
     def op(a, b):
+        # exact-class checks dodge two isinstance calls on the hot
+        # scalar path (collective folds apply ops O(n log n) times)
+        ta, tb = a.__class__, b.__class__
+        if (ta is float or ta is int) and (tb is float or tb is int):
+            return scalar_fn(a, b)
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return array_fn(a, b)
         return scalar_fn(a, b)

@@ -128,7 +128,58 @@ class Transport:
         self.recovery_filter = None
         #: envelopes suppressed by the recovery filter
         self.replay_dup_dropped = 0
+        # -- macro-event collectives --
+        #: lazily-created per-job coordinator (repro.mpi.macro); lives
+        #: here because the transport is the per-job rendezvous object
+        #: every rank's API shares
+        self.macro = None
+        #: explicit vetoes on the macro fast path (chaos engine arming,
+        #: experiment drivers); while > 0 every collective goes hop-level
+        self.macro_blockers = 0
         machine.fabric.on_heal(self._on_heal)
+
+    # -- macro-event eligibility ---------------------------------------------
+    def block_macro(self) -> None:
+        """Veto the macro-event collective fast path (stackable)."""
+        self.macro_blockers += 1
+
+    def unblock_macro(self) -> None:
+        self.macro_blockers = max(0, self.macro_blockers - 1)
+
+    def hop_fidelity_reason(self) -> Optional[str]:
+        """Why collectives on this transport need per-hop fidelity.
+
+        Returns ``None`` when the macro-event fast path may run, or a
+        short reason string: something is armed, degraded, observed or
+        recorded that makes individual message hops load-bearing.
+        The check is *nominal* network state, not instantaneous
+        in-flight traffic -- concurrent point-to-point flows (halo
+        exchanges) do not disable the fast path; their contention
+        error is what the conformance tolerance covers.
+        """
+        if self.macro_blockers > 0:
+            return "blocked"
+        if self.sim.fault_injectors > 0:
+            return "injector"
+        if self.faults is not None or self._lossy:
+            return "omission"
+        if self.machine.fabric.partitioned:
+            return "partition"
+        if self.machine.limping_count > 0:
+            return "limp"
+        if self.recovery_filter is not None:
+            return "msglog"
+        if self.sim.tracer.enabled or self.sim.metrics.enabled:
+            return "observability"
+        return None
+
+    def macro_reset(self) -> None:
+        """Recovery hook: drop all in-flight macro collective state
+        (pending instances, per-rank sequence counters, scheduled
+        completions) so a post-rollback world starts from a clean
+        collective sequence."""
+        if self.macro is not None:
+            self.macro.reset()
 
     # -- registry ---------------------------------------------------------
     def create_context(self, node: Node, label: str = "") -> NetContext:
@@ -166,7 +217,7 @@ class Transport:
         cannot tell -- PSM semantics).  It only fails if the *sender's*
         node is down.
         """
-        dst_node = self.machine.node(dst_addr[0])
+        dst_node = self.machine.nodes[dst_addr[0]]
         fabric = self.machine.fabric
         wire = fabric.send(
             src.node, dst_node, env.nbytes, sw_overhead=self.sw_overhead

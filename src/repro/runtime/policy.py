@@ -265,6 +265,11 @@ class Survivable(FaultPolicy):
         self._last_bump_time = self.sim.now
         job.epoch += 1
         job.recovery_causes.append((self.sim.now, cause))
+        # In-flight macro collective instances are dead timelines now:
+        # every rank will unwind to H1 and replay the collective
+        # sequence from the restored iteration, so the coordinator's
+        # counters and pending completions must start clean.
+        job.transport.macro_reset()
         if self.sim.tracer.enabled:
             self.sim.tracer.instant(
                 "recovery.begin", "recovery", epoch=job.epoch, cause=cause,

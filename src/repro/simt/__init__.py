@@ -26,7 +26,7 @@ simulation is bit-for-bit reproducible; there is no wall-clock input
 anywhere in the kernel.
 """
 
-from repro.simt.kernel import Event, SimStats, Simulator, Timeout
+from repro.simt.kernel import BulkCompletion, Event, SimStats, Simulator, Timeout
 from repro.simt.process import Interrupt, Process, ProcessKilled
 from repro.simt.primitives import AllOf, AnyOf
 from repro.simt.resources import BandwidthResource, Resource, Store
@@ -36,6 +36,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BandwidthResource",
+    "BulkCompletion",
     "Event",
     "Interrupt",
     "Process",

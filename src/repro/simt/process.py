@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.simt.kernel import Event, SimulationError, Simulator
+from repro.simt.kernel import _PENDING, Event, SimulationError, Simulator
 
 __all__ = ["Process", "Interrupt", "ProcessKilled"]
 
@@ -125,7 +125,7 @@ class Process(Event):
 
     # -- the trampoline -------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self._killed or self.triggered:
+        if self._killed or self._value is not _PENDING:  # killed/finished
             return
         self._target = None
         self.sim._active_proc = self

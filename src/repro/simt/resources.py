@@ -198,10 +198,14 @@ class BandwidthResource:
 
     def _reschedule(self) -> None:
         self._timer_gen += 1
-        if not self._flows:
+        flows = self._flows
+        if not flows:
             return
         gen = self._timer_gen
-        min_remaining = min(f.remaining for f in self._flows)
+        if len(flows) == 1:  # uncontended pipe: skip the scan
+            min_remaining = flows[0].remaining
+        else:
+            min_remaining = min(f.remaining for f in flows)
         dt = max(min_remaining, 0.0) / self._rate()
         timer = self.sim.timeout(dt)
         timer.callbacks.append(lambda _e: self._on_timer(gen))

@@ -9,11 +9,20 @@ from hypothesis import strategies as st
 
 from repro.cluster import Machine
 from repro.cluster.spec import SIERRA
-from repro.mpi.collectives import allreduce_hier
+from repro.mpi.collectives import allreduce_hier, set_collective_mode
 from repro.mpi.ops import MAX, MIN, SUM
 from repro.mpi.runtime import MpiJob
 from repro.simt import Simulator
 from repro.simt.rng import RngRegistry
+
+
+@pytest.fixture(autouse=True)
+def _hop_engine():
+    """These tests assert hop-level properties (fabric message counts,
+    per-message algebra), so they pin the oracle engine."""
+    prev = set_collective_mode("hops")
+    yield
+    set_collective_mode(prev)
 
 
 def run_app(app, nprocs, ppn=1, num_nodes=None, seed=0):

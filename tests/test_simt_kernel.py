@@ -268,3 +268,64 @@ def test_callback_lists_are_recycled():
     reused = Event(sim)
     assert reused.callbacks is lst  # pooled list handed to the next event
     assert reused.callbacks == []
+
+
+# ------------------------------------------------------- bulk completion
+def test_bulk_completion_fires_batch_in_order():
+    from repro.simt import BulkCompletion
+
+    sim = Simulator()
+    events = [Event(sim) for _ in range(4)]
+    fired = []
+    for i, evt in enumerate(events):
+        evt.callbacks.append(lambda e, i=i: fired.append((sim.now, i, e.value)))
+    BulkCompletion(sim, 2.0, [(evt, i * 10) for i, evt in enumerate(events)])
+    sim.run()
+    assert sim.now == 2.0
+    assert fired == [(2.0, 0, 0), (2.0, 1, 10), (2.0, 2, 20), (2.0, 3, 30)]
+    assert all(e.processed and e.ok for e in events)
+
+
+def test_bulk_completion_skips_cancelled_and_triggered_entries():
+    from repro.simt import BulkCompletion
+
+    sim = Simulator()
+    a, b, c = Event(sim), Event(sim), Event(sim)
+    b.cancel()
+    c.succeed("early")
+    fired = []
+    a.callbacks.append(lambda e: fired.append(e.value))
+    BulkCompletion(sim, 1.0, [(a, "A"), (b, "B"), (c, "C")])
+    sim.run()
+    assert fired == ["A"]
+    assert b.cancelled and not b.processed
+    assert c.value == "early"
+
+
+def test_bulk_completion_cancel_drops_whole_batch():
+    from repro.simt import BulkCompletion
+
+    sim = Simulator()
+    events = [Event(sim) for _ in range(3)]
+    bulk = BulkCompletion(sim, 1.0, [(e, None) for e in events])
+    assert bulk.cancel()
+    sim.run()
+    assert all(not e.processed and not e.triggered for e in events)
+
+
+def test_bulk_completion_resumes_waiting_processes():
+    from repro.simt import BulkCompletion
+
+    sim = Simulator()
+    events = [Event(sim) for _ in range(3)]
+    got = []
+
+    def waiter(evt):
+        value = yield evt
+        got.append((sim.now, value))
+
+    for i, evt in enumerate(events):
+        sim.spawn(waiter(evt))
+    BulkCompletion(sim, 0.5, [(e, i) for i, e in enumerate(events)])
+    sim.run()
+    assert got == [(0.5, 0), (0.5, 1), (0.5, 2)]
