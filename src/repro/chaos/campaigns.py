@@ -46,6 +46,19 @@ restarted slot rolls back, and the answer must stay bit-equal:
 * ``logged-sequential-kills`` -- a second slot dies after the first
   recovery's log replay completed, exercising log GC and re-logging
   across epochs.
+
+Replication (failover) campaigns -- ``recovery="replicated"`` backs
+every rank with ``replication_degree`` physical copies; a single death
+must be absorbed with *zero* rollback (the ``zero-rollback``
+invariant), and only losing every copy of a slot may fall back to the
+coordinated restore:
+
+* ``replicated-single-kill`` -- one physical slot (a lead or a
+  replica) dies; a lead death promotes its replica in place, a replica
+  death only triggers a background re-arm.
+* ``replicated-kill-both-copies`` -- both copies of one virtual slot
+  die within a tiny gap, wiping the rank's last synced copy; the plane
+  must fall back gracefully and the answer must stay bit-equal.
 """
 
 from __future__ import annotations
@@ -69,7 +82,10 @@ from repro.chaos.scenario import (
 )
 from repro.fmi.config import FmiConfig
 
-__all__ = ["Campaign", "CAMPAIGNS", "GRAY_CAMPAIGNS", "LOGGED_CAMPAIGNS"]
+__all__ = [
+    "Campaign", "CAMPAIGNS", "GRAY_CAMPAIGNS", "LOGGED_CAMPAIGNS",
+    "REPLICATED_CAMPAIGNS",
+]
 
 RulesFn = Callable[[np.random.Generator, "Campaign"], List[Rule]]
 
@@ -93,11 +109,23 @@ class Campaign:
 
     @property
     def num_slots(self) -> int:
+        """Virtual slots (node-sized tasks) of one copy of the job."""
         return self.num_ranks // self.ppn
 
     @property
+    def replication_degree(self) -> int:
+        """Physical copies per rank (1 unless ``recovery="replicated"``)."""
+        cfg = self.make_config()
+        return cfg.replication_degree if cfg.recovery == "replicated" else 1
+
+    @property
     def total_nodes(self) -> int:
-        return self.num_slots + self.spare_nodes + self.pool_extra
+        # Replicated jobs allocate one node tier per copy: physical
+        # slot s hosts copy s // num_slots of virtual slot s % num_slots.
+        return (
+            self.num_slots * self.replication_degree
+            + self.spare_nodes + self.pool_extra
+        )
 
     def make_config(self) -> FmiConfig:
         kwargs = dict(
@@ -248,6 +276,33 @@ def _logged_sequential_kills_rules(rng: np.random.Generator, c: Campaign) -> Lis
     ]
 
 
+def _replicated_single_kill_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Any *physical* slot: the copy-0 tier holds the boot-time leads
+    # (killing one forces an in-place promotion), the upper tiers hold
+    # replicas (killing one only triggers a background re-arm).  Either
+    # way the zero-rollback invariant must hold.
+    slot = int(rng.integers(c.num_slots * c.replication_degree))
+    t0 = float(rng.uniform(1.5, 3.5))
+    return [Rule(AtTime(t0), KillSlot(slot))]
+
+
+def _replicated_kill_both_copies_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Both copies of one virtual slot die within a tiny gap.  A gap
+    # under FAILOVER_DELAY lands the second kill inside the promotion
+    # window; a larger gap kills the freshly promoted lead before its
+    # standby re-armed.  Either way no synced copy remains, so the
+    # plane must fall back to the coordinated restore.
+    vslot = int(rng.integers(c.num_slots))
+    # Upper bound stays inside the failure-free makespan (~3 s) so the
+    # double kill always actually lands.
+    t = float(rng.uniform(1.5, 2.5))
+    gap = float(rng.choice([0.02, 0.05, 0.2]))
+    return [
+        Rule(AtTime(t), KillSlot(vslot)),
+        Rule(AtTime(t + gap), KillSlot(vslot + c.num_slots)),
+    ]
+
+
 # ------------------------------------------------------------------ registry
 CAMPAIGNS: Dict[str, Campaign] = {
     c.name: c
@@ -333,6 +388,20 @@ CAMPAIGNS: Dict[str, Campaign] = {
             pool_extra=3,
             config_extra={"recovery": "logged"},
         ),
+        Campaign(
+            "replicated-single-kill",
+            "failover: one copy dies, nobody rolls back",
+            _replicated_single_kill_rules,
+            pool_extra=3,
+            config_extra={"recovery": "replicated"},
+        ),
+        Campaign(
+            "replicated-kill-both-copies",
+            "both copies of one slot die; graceful fallback to rollback",
+            _replicated_kill_both_copies_rules,
+            pool_extra=3,
+            config_extra={"recovery": "replicated"},
+        ),
     ]
 }
 
@@ -349,4 +418,10 @@ GRAY_CAMPAIGNS: List[str] = [
 LOGGED_CAMPAIGNS: List[str] = [
     "logged-single-kill",
     "logged-sequential-kills",
+]
+
+#: names of the replication campaigns (the CI replication-ablation set)
+REPLICATED_CAMPAIGNS: List[str] = [
+    "replicated-single-kill",
+    "replicated-kill-both-copies",
 ]

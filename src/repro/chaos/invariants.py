@@ -36,6 +36,13 @@ Gray-failure invariants:
 * **link-accounting** -- after the run, no message is still parked at a
   healed partition cut, and the receiver never suppressed more
   duplicates than the fault model injected.
+
+Replication invariant:
+
+* **zero-rollback** -- a replicated run (any ``repl.*`` trace event)
+  must never restore a checkpoint: failover promotes a live copy in
+  place.  The only legal restores are at/after an explicit
+  ``repl.fallback`` (every copy of some rank died).
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ __all__ = [
     "check_epoch_monotone", "check_no_stale_delivery",
     "check_posted_receives", "check_detector_bounded", "check_answer",
     "check_no_split_brain", "check_suspicion_resolved",
-    "check_link_accounting", "check_no_orphans",
+    "check_link_accounting", "check_no_orphans", "check_zero_rollback",
     "check_all",
 ]
 
@@ -164,6 +171,46 @@ def check_no_orphans(tracer) -> List[Violation]:
                     f"and never re-logged: the receiver's state is an "
                     f"orphan of an unsent message",
                 ))
+    return out
+
+
+def check_zero_rollback(tracer) -> List[Violation]:
+    """Replicated recovery never restores a checkpoint -- failover is
+    the whole point -- except after an explicit fallback.
+
+    Gated on the presence of ``repl.*`` trace events (a no-op for the
+    global and logged families).  A standby re-arm clones its lead's
+    live storage directly and never runs the restore collectives, so
+    any ``ckpt.restore.begin`` before the first ``repl.fallback`` (or
+    without one at all) means a survivor was rolled back.
+    """
+    replicated = False
+    first_fallback: Optional[float] = None
+    restores: List = []
+    for ev in tracer.events:
+        if ev.name.startswith("repl."):
+            replicated = True
+            if ev.name == "repl.fallback" and first_fallback is None:
+                first_fallback = ev.ts
+        elif ev.name == "ckpt.restore.begin":
+            restores.append(ev)
+    if not replicated:
+        return []
+    out: List[Violation] = []
+    for ev in restores:
+        if first_fallback is None:
+            out.append(Violation(
+                "zero-rollback",
+                f"rank {ev.rank} began a checkpoint restore at "
+                f"t={ev.ts:.6g} although replication never fell back",
+            ))
+        elif ev.ts < first_fallback:
+            out.append(Violation(
+                "zero-rollback",
+                f"rank {ev.rank} began a checkpoint restore at "
+                f"t={ev.ts:.6g}, before the first fallback at "
+                f"t={first_fallback:.6g}",
+            ))
     return out
 
 
@@ -389,6 +436,7 @@ def check_all(
     out += check_no_split_brain(tracer)
     out += check_suspicion_resolved(tracer)
     out += check_no_orphans(tracer)
+    out += check_zero_rollback(tracer)
     out += check_posted_receives(job)
     out += check_link_accounting(job)
     if monitor is not None:

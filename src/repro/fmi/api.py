@@ -77,13 +77,22 @@ class FmiContext(ParallelApi):
     def _stamp(self, env, dst_world: int) -> None:
         plane = self.fmi_job.recovery_plane
         if plane is not None:
-            plane.on_send(self.world_rank, dst_world, env)
+            plane.on_send(self.world_rank, dst_world, env, self.ctx)
 
     def _post_recv(self, comm: Communicator, source: int, tag: int):
         plane = self.fmi_job.recovery_plane
         if plane is not None and (
             source == self.ANY_SOURCE or tag == self.ANY_TAG
         ):
+            if plane.kind == "replicated":
+                # Replica consistency: followers replay the lead's
+                # recorded match order (parking until it is recorded);
+                # the lead posts natively and the sink records.
+                self._check_ok()
+                evt = plane.post_wildcard(self, source, tag, comm.id)
+                if evt is not None:
+                    return evt
+                return super()._post_recv(comm, source, tag)
             # Piecewise-deterministic replay: a re-executed wildcard
             # receive is rewritten to the *exact* (source, tag) its
             # original execution matched, in recorded order, until the
@@ -170,12 +179,14 @@ class FmiContext(ParallelApi):
         if want:
             t0 = self.now
             payloads = [self._as_payload(c, i, nbytes) for i, c in enumerate(ckpts)]
+            if plane is not None:
+                plane.note_ckpt_begin(self.world_rank, rs.loop_id, self.ctx)
             meta = yield from self.engine.checkpoint(payloads, dataset_id=rs.loop_id)
             rs.policy.record_checkpoint(self.now, self.now - t0)
             rs.last_ckpt_loop = rs.loop_id
             self.fmi_job.checkpoints_done += 1
             if plane is not None:
-                plane.note_rank_checkpoint(self.world_rank, rs.loop_id)
+                plane.note_rank_checkpoint(self.world_rank, rs.loop_id, self.ctx)
             if (
                 self.l2store is not None
                 and rs.loop_id >= self.fmi_job.next_l2_at

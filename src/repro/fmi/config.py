@@ -9,8 +9,10 @@ __all__ = ["FmiConfig", "RECOVERY_MODES", "check_recovery_mode"]
 
 #: recovery-plane selection: "global" rolls every rank back to the last
 #: coordinated checkpoint; "logged" replays sender-based message logs
-#: into only the restarted ranks (partial rollback)
-RECOVERY_MODES = ("global", "logged")
+#: into only the restarted ranks (partial rollback); "replicated" backs
+#: every virtual rank with live replica processes and *fails over*
+#: instead of rolling back
+RECOVERY_MODES = ("global", "logged", "replicated")
 
 
 def check_recovery_mode(name: str) -> str:
@@ -49,8 +51,14 @@ class FmiConfig:
     #: recovery plane: "global" (every failure rolls all ranks back to
     #: the last checkpoint -- the paper's behaviour) or "logged"
     #: (sender-based message logging + receiver determinants: only the
-    #: restarted ranks roll back, survivors replay logged traffic)
+    #: restarted ranks roll back, survivors replay logged traffic) or
+    #: "replicated" (dual-modular ranks: a primary death promotes the
+    #: live replica in place -- no rollback at all)
     recovery: str = "global"
+    #: physical processes per virtual rank under recovery="replicated"
+    #: (2 = dual-modular redundancy, the FTHP-MPI default); ignored by
+    #: the rollback-based planes
+    replication_degree: int = 2
     #: log-ring base k (Section IV-C; k=2 is the paper's default)
     logring_k: int = 2
     #: pre-reserved spare nodes requested with the allocation
@@ -98,6 +106,25 @@ class FmiConfig:
                 "recovery='logged' does not support multilevel C/R "
                 "(level2_every): partial rollback restores from the "
                 "level-1 tier only"
+            )
+        if self.replication_degree < 1:
+            raise ValueError(
+                "replication_degree must be >= 1 (1 = no redundancy, "
+                "2 = dual-modular)"
+            )
+        if self.recovery == "replicated" and self.level2_every is not None:
+            raise ValueError(
+                "recovery='replicated' does not support multilevel C/R "
+                "(level2_every): failover promotes a live replica and "
+                "never restores from a checkpoint tier"
+            )
+        if (self.recovery == "replicated"
+                and self.spare_nodes < self.replication_degree - 1):
+            raise ValueError(
+                f"recovery='replicated' with replication_degree="
+                f"{self.replication_degree} needs spare_nodes >= "
+                f"{self.replication_degree - 1} to re-arm replicas after "
+                f"a failover (got spare_nodes={self.spare_nodes})"
             )
         if self.logring_k < 2:
             raise ValueError("logring_k must be >= 2")

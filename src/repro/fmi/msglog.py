@@ -133,6 +133,10 @@ class _SidecarApi(ParallelApi):
 class RecoveryPlane:
     """Job-wide message-logging state + the partial-restore driver."""
 
+    #: plane-family dispatch tag (the replication plane says
+    #: "replicated"); callers branch on this instead of isinstance
+    kind = "logged"
+
     def __init__(self, job):
         self.job = job
         self.sim = job.sim
@@ -176,7 +180,7 @@ class RecoveryPlane:
         self.partial_restores = 0
 
     # -- send path ---------------------------------------------------------
-    def on_send(self, src: int, dst: int, env: Envelope) -> None:
+    def on_send(self, src: int, dst: int, env: Envelope, ctx=None) -> None:
         """Stamp ``env`` with its channel lseq; log it if cross-slot."""
         key = (src, dst)
         n = self.send_seq.get(key, 0)
@@ -288,7 +292,11 @@ class RecoveryPlane:
     #: retained checkpoint window per rank; mirrors CheckpointEngine.KEEP
     KEEP = CheckpointEngine.KEEP
 
-    def note_rank_checkpoint(self, rank: int, dataset_id: int) -> None:
+    def note_ckpt_begin(self, rank: int, dataset_id: int, ctx=None) -> None:
+        """Checkpoint-begin hook (the replication plane's standby sync
+        keys off it); sender-based logging needs nothing here."""
+
+    def note_rank_checkpoint(self, rank: int, dataset_id: int, ctx=None) -> None:
         """``rank`` completed checkpoint ``dataset_id``: snapshot its
         plane state (the rewind target) and advance garbage collection."""
         counters = {

@@ -1,0 +1,734 @@
+"""Replication recovery plane: dual-modular ranks that fail over.
+
+Every virtual rank is backed by ``replication_degree`` physical
+processes (FTHP-MPI's model; ReStore's in-memory state angle).  All
+copies execute the application; the *lead* copy owns the rank's entry
+in the endpoint table, and the transport mirrors every lseq-stamped
+envelope addressed to a lead onto its live replicas, so each copy
+observes the same message stream.
+
+Three mechanisms keep the copies bit-identical:
+
+* **channel dedup** -- senders stamp ``env.lseq = (src, dst, n)`` from
+  a per-context channel counter (the msglog determinant machinery);
+  since every copy of a sender re-sends the same logical message, each
+  receiving copy keeps the first arrival per ``(src, n)`` and drops
+  the rest.
+* **determinant latch** -- wildcard receives are nondeterministic, so
+  the lead records ``(env_src, env_tag)`` per match into a per-rank
+  determinant list and followers *replay* it: their wildcard posts are
+  rewritten to the exact recorded source, parking until the lead's
+  record arrives.  A promoted copy first drains any recorded
+  determinants it has not consumed, then posts natively.
+* **standby re-arm** -- a respawned copy buffers mirrored traffic,
+  waits for the lead's next checkpoint, clones the lead's in-memory
+  checkpoint storage plus the channel counters snapshotted at that
+  checkpoint, restores, and re-executes into sync (its duplicate sends
+  are suppressed at every receiver by the channel dedup).
+
+Failure handling is a two-tier ladder (``try_failover``):
+
+* a death that leaves every virtual rank with at least one live,
+  synced copy is absorbed without *any* rollback -- replica-only
+  deaths complete recovery instantly; a lead death promotes the
+  surviving copy in place after ``FAILOVER_DELAY`` while survivors
+  never leave their compute state (H3);
+* only when some rank loses its last synced copy does the plane fall
+  back to the classic coordinated restore: it elects one copy per
+  rank, retires the rest to the standby protocol, and the elected
+  cohort performs a plain global rollback (epoch-fenced by ``era``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fmi.checkpoint import _slice
+from repro.mpi.datatypes import snapshot as _snapshot
+from repro.net.message import Envelope
+from repro.simt.kernel import Event
+
+__all__ = ["ReplicationPlane", "ReplicaDeterminant"]
+
+
+class ReplicaDeterminant:
+    """One recorded wildcard match: what the lead actually received."""
+
+    __slots__ = ("env_src", "env_tag", "comm_id", "lseq")
+
+    def __init__(self, env_src: int, env_tag: int, comm_id: int, lseq):
+        self.env_src = env_src
+        self.env_tag = env_tag
+        self.comm_id = comm_id
+        self.lseq = lseq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RDet src={self.env_src} tag={self.env_tag} "
+            f"comm={self.comm_id} lseq={self.lseq}>"
+        )
+
+
+class _StandbyRec:
+    """Book-keeping for one re-arming copy awaiting its sync point."""
+
+    __slots__ = ("rank", "copy", "eligible_ds", "sync")
+
+    def __init__(self, rank: int, copy: int, sim):
+        self.rank = rank
+        self.copy = copy
+        #: first dataset whose *begin* fell after this standby started
+        #: buffering (checkpoints already in flight at registration may
+        #: predate some mirrored traffic, so they cannot be sync points)
+        self.eligible_ds: Optional[int] = None
+        self.sync = Event(sim)
+
+
+class _ChannelSnapshot:
+    """Lead channel state at one checkpoint (the standby's seed)."""
+
+    __slots__ = ("counters", "consumed", "det_len")
+
+    def __init__(self, counters: Dict[int, int], consumed: Set[Tuple[int, int]],
+                 det_len: int):
+        self.counters = counters
+        self.consumed = consumed
+        self.det_len = det_len
+
+
+def _chain(inner: Event, outer: Event) -> None:
+    """Forward ``inner``'s outcome into ``outer`` (parked wildcards)."""
+
+    def _cb(evt: Event) -> None:
+        if outer.triggered:
+            return
+        if evt._ok:
+            outer.succeed(evt._value)
+        else:
+            outer.fail(evt._value)
+
+    if inner.triggered:
+        _cb(inner)
+    else:
+        inner.callbacks.append(_cb)
+
+
+class ReplicationPlane:
+    """Shared state of the ``recovery="replicated"`` family."""
+
+    kind = "replicated"
+
+    #: promotion latency: failure-notice fan-in plus republishing the
+    #: endpoint table -- no state movement, which is the whole point
+    #: (well under the logged plane's measured 0.455 s recovery)
+    FAILOVER_DELAY = 0.15
+
+    def __init__(self, job):
+        self.job = job
+        self.sim = job.sim
+        self.degree: int = job.config.replication_degree
+        #: rank -> copy -> FmiProcess (current incarnations)
+        self.copies: Dict[int, Dict[int, object]] = {}
+        #: which copy currently owns the rank's endpoint-table entry
+        self.lead_copy: Dict[int, int] = {}
+        #: lead address -> live replica contexts (transport mirror fan-out)
+        self.mirrors: Dict[Tuple[int, int], List[object]] = {}
+        self._mirror_key: Dict[int, Tuple[int, int]] = {}
+        # -- per-context channel state (the dedup/determinant machinery) --
+        self.counters: Dict[object, Dict[int, int]] = {}
+        self.seen: Dict[object, Set[Tuple[int, int]]] = {}
+        self.consumed: Dict[object, Set[Tuple[int, int]]] = {}
+        #: per-rank recorded wildcard matches, in lead match order
+        self.dets: Dict[int, List[ReplicaDeterminant]] = {}
+        #: per-context replay position into ``dets[rank]``
+        self.det_cursor: Dict[object, int] = {}
+        #: rank -> [(ctx, source, tag, comm_id, event)] wildcards parked
+        #: on followers until the lead's determinant arrives
+        self.parked: Dict[int, List[tuple]] = {}
+        # -- standby protocol --
+        #: unsynced standby ctx -> buffered mirrored envelopes
+        self.pending: Dict[object, List[Envelope]] = {}
+        self.standby_recs: Dict[object, _StandbyRec] = {}
+        #: (rank, copy) slots whose next incarnation must re-arm as a
+        #: standby instead of booting as a peer copy
+        self.standby_expected: Set[Tuple[int, int]] = set()
+        #: (rank, dataset_id) -> lead channel snapshot (keep-2, in step
+        #: with the checkpoint engine's retention)
+        self.snapshots: Dict[Tuple[int, int], _ChannelSnapshot] = {}
+        self._snap_ids: Dict[int, List[int]] = {}
+        # -- epoch fencing --
+        #: the epoch every replicated context stamps/filters at.  Only a
+        #: fallback bumps it: failovers must *not* fence out in-flight
+        #: traffic (survivors keep computing), and a re-arming standby
+        #: must accept survivor traffic stamped before its respawn.
+        self.era = 0
+        #: epoch of the most recent fallback (None = never fell back)
+        self.fallback_epoch: Optional[int] = None
+        # -- counters (bench / invariant surface) --
+        self.promotions = 0
+        self.replica_losses = 0
+        self.fallbacks = 0
+        self.mirrored = 0
+        self.dup_suppressed = 0
+        self.det_recorded = 0
+        self.det_mismatches = 0
+        self.standby_buffered = 0
+        self.standby_syncs = 0
+
+    # ------------------------------------------------------------ geometry
+    def adopt(self, fproc) -> None:
+        """A (re)spawned copy registers itself (``JobBase`` adoption)."""
+        rank, copy = fproc.rank, fproc.copy
+        self.copies.setdefault(rank, {})[copy] = fproc
+        if (rank, copy) in self.standby_expected:
+            return  # re-arming: never the lead, even at the lead index
+        if copy == self.lead_copy.setdefault(rank, 0):
+            self.job.rank_procs[rank] = fproc
+
+    def all_procs(self) -> List[object]:
+        out: List[object] = []
+        for cps in self.copies.values():
+            out.extend(cps.values())
+        return out
+
+    def slot_procs(self, slot: int) -> List[object]:
+        """Every current process of one *physical* slot (task)."""
+        job = self.job
+        copy, vslot = divmod(slot, job.num_nodes)
+        return [
+            self.copies[r][copy]
+            for r in job.ranks_of_slot(vslot)
+            if copy in self.copies.get(r, ())
+        ]
+
+    def is_unsynced(self, fproc) -> bool:
+        return (
+            (fproc.rank, fproc.copy) in self.standby_expected
+            or fproc.ctx in self.standby_recs
+        )
+
+    # ------------------------------------------------------------ boot (H1)
+    def on_h1(self, fproc) -> None:
+        """Wire one copy's fresh context into the plane."""
+        job = self.job
+        ctx = fproc.ctx
+        rank = fproc.rank
+        ctx.epoch = self.era
+        ctx.matching.match_sink = self._make_sink(fproc)
+        ctx.recv_filter = self._make_recv_filter(ctx)
+        ctx.matching.reset()
+        # A context entering H1 starts (or restarts) with clean channel
+        # state; post-fallback survivors re-enter here after the
+        # wholesale era reset.
+        self.counters.pop(ctx, None)
+        self.seen.pop(ctx, None)
+        self.consumed.pop(ctx, None)
+        self.det_cursor.pop(ctx, None)
+        if (rank, fproc.copy) in self.standby_expected:
+            self.standby_expected.discard((rank, fproc.copy))
+            self.standby_recs[ctx] = _StandbyRec(rank, fproc.copy, self.sim)
+            self.pending[ctx] = []
+            self._rebuild_mirrors(rank)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "repl.standby.register", "repl", rank=rank,
+                    copy=fproc.copy, epoch=job.epoch,
+                )
+            return
+        if job.rank_procs.get(rank) is fproc:
+            job.register_endpoint(rank, ctx)
+        self._rebuild_mirrors(rank)
+
+    def _rebuild_mirrors(self, rank: int) -> None:
+        old = self._mirror_key.pop(rank, None)
+        if old is not None:
+            self.mirrors.pop(old, None)
+        lead = self.job.rank_procs.get(rank)
+        if lead is None:
+            return
+        followers = [
+            p.ctx
+            for _c, p in sorted(self.copies.get(rank, {}).items())
+            if p is not lead and p.alive and not p.ctx.closed
+        ]
+        if followers:
+            addr = lead.ctx.addr
+            self.mirrors[addr] = followers
+            self._mirror_key[rank] = addr
+
+    def _rebuild_all_mirrors(self) -> None:
+        for rank in list(self.copies):
+            self._rebuild_mirrors(rank)
+
+    # ------------------------------------------------------------ data plane
+    def on_send(self, src: int, dst: int, env: Envelope, ctx=None) -> None:
+        """Stamp the sender's channel sequence (per *context*: each copy
+        runs the same channel schedule, so copies of one rank produce
+        identical lseq streams)."""
+        counters = self.counters.setdefault(ctx, {})
+        n = counters.get(dst, 0)
+        counters[dst] = n + 1
+        env.lseq = (src, dst, n)
+
+    def mirror_copies(self, dst_addr, env: Envelope):
+        """Clones of ``env`` for the replicas shadowing ``dst_addr``.
+
+        Payloads are snapshotted per clone: copies of a rank must never
+        share one mutable buffer.  Clones keep the lseq (dedup
+        identity) but draw fresh global seqs.
+        """
+        targets = self.mirrors.get(dst_addr)
+        if not targets:
+            return ()
+        out = []
+        for ctx in targets:
+            if ctx.closed or not ctx.node.alive:
+                continue
+            menv = Envelope(
+                src=env.src, dst=env.dst, tag=env.tag, comm_id=env.comm_id,
+                epoch=env.epoch, nbytes=env.nbytes, data=_snapshot(env.data),
+            )
+            menv.lseq = env.lseq
+            out.append((ctx.addr, menv))
+        self.mirrored += len(out)
+        return out
+
+    def _make_recv_filter(self, ctx):
+        def accept(env: Envelope) -> bool:
+            lseq = env.lseq
+            if lseq is None:
+                return True
+            pend = self.pending.get(ctx)
+            if pend is not None:
+                # Unsynced standby: park everything until the sync
+                # point tells us which messages the snapshot consumed.
+                pend.append(env)
+                self.standby_buffered += 1
+                return False
+            key = (lseq[0], lseq[2])
+            seen = self.seen.get(ctx)
+            if seen is None:
+                seen = self.seen[ctx] = set()
+            if key in seen:
+                self.dup_suppressed += 1
+                return False
+            seen.add(key)
+            return True
+
+        return accept
+
+    def _make_sink(self, fproc):
+        rank = fproc.rank
+        ctx = fproc.ctx
+
+        def sink(source: int, tag: int, env: Envelope) -> None:
+            lseq = env.lseq
+            if lseq is not None:
+                self.consumed.setdefault(ctx, set()).add((lseq[0], lseq[2]))
+            from repro.net.matching import ANY_SOURCE, ANY_TAG
+
+            if source == ANY_SOURCE or tag == ANY_TAG:
+                if self.job.rank_procs.get(rank) is fproc:
+                    dets = self.dets.setdefault(rank, [])
+                    dets.append(
+                        ReplicaDeterminant(env.src, env.tag, env.comm_id, lseq)
+                    )
+                    # The recorder is, by definition, caught up: without
+                    # this a since-boot lead would later replay its own
+                    # record instead of posting natively.
+                    self.det_cursor[ctx] = len(dets)
+                    self.det_recorded += 1
+                    self._drain_parked(rank)
+
+        return sink
+
+    # ------------------------------------------------- wildcard determinants
+    def post_wildcard(self, fmi_ctx, source: int, tag: int, comm_id: int):
+        """Replicated wildcard post.
+
+        Returns an event for the caller to yield, or ``None`` when the
+        caller (the current lead, fully caught up on its own record)
+        should post natively and let the sink record the match.
+        """
+        rank = fmi_ctx.world_rank
+        ctx = fmi_ctx.ctx
+        dets = self.dets.get(rank, ())
+        cursor = self.det_cursor.get(ctx, 0)
+        if cursor < len(dets):
+            det = dets[cursor]
+            self.det_cursor[ctx] = cursor + 1
+            if det.comm_id != comm_id:
+                # Copies run the same program, so pattern drift should
+                # be impossible; degrade to a native post rather than
+                # matching into the wrong communicator.
+                self.det_mismatches += 1
+                return None
+            return ctx.matching.post(det.env_src, det.env_tag, comm_id)
+        if self.job.rank_procs.get(rank) is fmi_ctx.fproc:
+            return None
+        evt = Event(self.sim)
+        self.parked.setdefault(rank, []).append((ctx, source, tag, comm_id, evt))
+        return evt
+
+    def _drain_parked(self, rank: int) -> None:
+        waiters = self.parked.pop(rank, None)
+        if not waiters:
+            return
+        dets = self.dets.get(rank, ())
+        lead = self.job.rank_procs.get(rank)
+        remaining = []
+        for entry in waiters:
+            ctx, source, tag, comm_id, evt = entry
+            if evt.triggered or ctx.closed or not ctx.node.alive:
+                continue
+            cursor = self.det_cursor.get(ctx, 0)
+            if cursor < len(dets):
+                det = dets[cursor]
+                self.det_cursor[ctx] = cursor + 1
+                _chain(ctx.matching.post(det.env_src, det.env_tag, comm_id), evt)
+            elif lead is not None and lead.ctx is ctx:
+                # This copy was promoted while parked: its wildcard is
+                # now the recording side -- post natively.
+                _chain(ctx.matching.post(source, tag, comm_id), evt)
+            else:
+                remaining.append(entry)
+        if remaining:
+            # Native posts above may have recursed through the sink and
+            # parked/drained more entries; keep FIFO order per rank.
+            self.parked[rank] = remaining + self.parked.get(rank, [])
+
+    # ------------------------------------------------------------ failover
+    def try_failover(self, policy, cause: str) -> bool:
+        """Classify the damage; True = handled without any rollback."""
+        job = self.job
+        if (
+            self.fallback_epoch is not None
+            and self.fallback_epoch not in job.recovered_at
+        ):
+            # A failure landed *during* a fallback restore: restart the
+            # fallback at the fresh epoch (it must own the new
+            # generation or nobody would unwind for it).
+            self._fallback(cause)
+            return False
+        dead_lead_slots: List[int] = []
+        lost_replica = False
+        for vslot in range(job.num_nodes):
+            ranks = [
+                r for r in job.ranks_of_slot(vslot)
+                if r not in job.finished_ranks
+            ]
+            if not ranks:
+                continue
+            lead_dead = any(
+                job.rank_procs.get(r) is None or not job.rank_procs[r].alive
+                for r in ranks
+            )
+            if lead_dead:
+                if self._live_synced_copy(vslot) is None:
+                    self._fallback(cause)
+                    return False
+                dead_lead_slots.append(vslot)
+            elif any(
+                not p.alive
+                for r in ranks
+                for p in self.copies.get(r, {}).values()
+            ):
+                lost_replica = True
+        # Every dead copy's next incarnation re-arms as a standby (a
+        # fresh process has no state and must never act as a peer).
+        for rank, cps in self.copies.items():
+            if rank in job.finished_ranks:
+                continue
+            for copy, p in cps.items():
+                if not p.alive:
+                    self.standby_expected.add((rank, copy))
+        self._rebuild_all_mirrors()
+        if dead_lead_slots:
+            self.sim.spawn(
+                self._promote(job.epoch, dead_lead_slots, cause),
+                name="repl.promote",
+            )
+            return True
+        if lost_replica:
+            self.replica_losses += 1
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "repl.replica_lost", "repl", epoch=job.epoch, cause=cause,
+                )
+        # Service never blinked: recovery is complete the instant the
+        # failure was classified.
+        job.note_recovery_complete()
+        return True
+
+    def _live_synced_copy(self, vslot: int) -> Optional[int]:
+        """A copy index with live, synced processes for every rank of
+        ``vslot`` -- deaths are task-granular, so copies live or die as
+        whole slots."""
+        job = self.job
+        ranks = [
+            r for r in job.ranks_of_slot(vslot)
+            if r not in job.finished_ranks
+        ]
+        for copy in range(self.degree):
+            for r in ranks:
+                p = self.copies.get(r, {}).get(copy)
+                if p is None or not p.alive or self.is_unsynced(p):
+                    break
+            else:
+                return copy
+        return None
+
+    def _promote(self, epoch: int, vslots: List[int], cause: str):
+        yield self.sim.timeout(self.FAILOVER_DELAY)
+        job = self.job
+        if job.finished:
+            return
+        if (
+            self.fallback_epoch is not None
+            and self.fallback_epoch not in job.recovered_at
+        ):
+            return  # superseded by a fallback
+        for vslot in vslots:
+            ranks = [
+                r for r in job.ranks_of_slot(vslot)
+                if r not in job.finished_ranks
+            ]
+            if not ranks or all(
+                job.rank_procs.get(r) is not None and job.rank_procs[r].alive
+                for r in ranks
+            ):
+                continue  # a later recovery already handled it
+            copy = self._live_synced_copy(vslot)
+            if copy is None:
+                continue  # the later death's own recovery takes over
+            for r in ranks:
+                proc = self.copies[r][copy]
+                self.lead_copy[r] = copy
+                job.rank_procs[r] = proc
+                job.register_endpoint(r, proc.ctx)
+                self._rebuild_mirrors(r)
+                self.promotions += 1
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.instant(
+                        "repl.promote", "repl", rank=r, copy=copy,
+                        epoch=epoch, cause=cause,
+                    )
+                self._drain_parked(r)
+        if job.epoch == epoch:
+            job.note_recovery_complete()
+
+    # ------------------------------------------------------------ fallback
+    def _fallback(self, cause: str) -> None:
+        """Some rank lost its last synced copy: coordinated rollback.
+
+        Elect exactly one copy per virtual slot (two live copies of a
+        rank must not both join the restore collectives -- their
+        contributions would collide on identical lseq), retire every
+        other copy to the standby protocol, fence the old era's
+        traffic, and let the elected cohort run a plain global restore.
+        """
+        job = self.job
+        epoch = job.epoch
+        self.fallbacks += 1
+        self.fallback_epoch = epoch
+        self.era = epoch
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "repl.fallback", "repl", epoch=epoch, cause=cause,
+            )
+        # Wholesale era reset: channel counters restart from zero on
+        # both sides, and the epoch fence disposes of old-era traffic.
+        self.dets.clear()
+        self.det_cursor.clear()
+        self.counters.clear()
+        self.seen.clear()
+        self.consumed.clear()
+        self.parked.clear()
+        self.pending.clear()
+        self.standby_recs.clear()
+        self.standby_expected.clear()
+        self.snapshots.clear()
+        self._snap_ids.clear()
+        self.mirrors.clear()
+        self._mirror_key.clear()
+        for vslot in range(job.num_nodes):
+            active = [
+                r for r in job.ranks_of_slot(vslot)
+                if r not in job.finished_ranks
+            ]
+            elected = None
+            if active:
+                cur = self.lead_copy.get(active[0], 0)
+                for copy in [cur] + [
+                    c for c in range(self.degree) if c != cur
+                ]:
+                    if all(
+                        self.copies.get(r, {}).get(copy) is not None
+                        and self.copies[r][copy].alive
+                        for r in active
+                    ):
+                        elected = copy
+                        break
+                if elected is None:
+                    elected = 0  # every copy died: copy 0's respawn
+                    # rejoins the cohort and restores via XOR rebuild
+                for r in active:
+                    self.lead_copy[r] = elected
+                    p = self.copies.get(r, {}).get(elected)
+                    if p is not None:
+                        job.rank_procs[r] = p
+            for r in job.ranks_of_slot(vslot):
+                for copy, p in self.copies.get(r, {}).items():
+                    if copy == elected and r in active:
+                        continue
+                    if p.alive:
+                        p.kill("replication fallback: redundant copy")
+                    if not p.ctx.closed:
+                        # Retired copies often sit on live nodes (the
+                        # kill is task-granular); close their contexts
+                        # so parked receives are cancelled and stray
+                        # mirrored traffic is dropped at the transport.
+                        p.ctx.close()
+                    if r in active:
+                        self.standby_expected.add((r, copy))
+        # The overlay is degraded after failovers (promoted leads never
+        # re-joined the log-ring), so poke every surviving copy
+        # directly instead of trusting detector propagation.
+        for p in self.all_procs():
+            if p.alive:
+                p.notify_failure(epoch, "replication fallback")
+
+    # ------------------------------------------------------------ checkpoints
+    def note_ckpt_begin(self, rank: int, dataset_id: int, ctx=None) -> None:
+        lead = self.job.rank_procs.get(rank)
+        if lead is None or lead.ctx is not ctx:
+            return
+        for rec in self.standby_recs.values():
+            if rec.rank == rank and rec.eligible_ds is None:
+                rec.eligible_ds = dataset_id
+
+    def note_rank_checkpoint(self, rank: int, dataset_id: int, ctx=None) -> None:
+        lead = self.job.rank_procs.get(rank)
+        if lead is None or lead.ctx is not ctx:
+            return  # follower checkpoints are local redundancy only
+        self.snapshots[(rank, dataset_id)] = _ChannelSnapshot(
+            dict(self.counters.get(ctx, {})),
+            set(self.consumed.get(ctx, ())),
+            len(self.dets.get(rank, ())),
+        )
+        retained = self._snap_ids.setdefault(rank, [])
+        if dataset_id not in retained:
+            retained.append(dataset_id)
+            retained.sort()
+        while len(retained) > 2:  # in step with CheckpointEngine.KEEP
+            self.snapshots.pop((rank, retained.pop(0)), None)
+        for rec in self.standby_recs.values():
+            if (
+                rec.rank == rank
+                and rec.eligible_ds is not None
+                and dataset_id >= rec.eligible_ds
+                and not rec.sync.triggered
+            ):
+                rec.sync.succeed(dataset_id)
+
+    # ------------------------------------------------------------ restore
+    def partial_restore(self, fmi_ctx):
+        """FMI_Loop restore hook for a replicated context.
+
+        Standbys sync against their lead's live state; fallback-cohort
+        members run the ordinary coordinated restore this plane
+        otherwise never touches.
+        """
+        rec = self.standby_recs.get(fmi_ctx.ctx)
+        if rec is None:
+            restored = yield from fmi_ctx.engine.restore(
+                world_agree=fmi_ctx._agree_min, allow_beyond_xor=False,
+            )
+            return restored
+        result = yield from self._standby_sync(fmi_ctx, rec)
+        return result
+
+    def _standby_sync(self, fmi_ctx, rec: _StandbyRec):
+        job = self.job
+        ctx = fmi_ctx.ctx
+        rank = fmi_ctx.world_rank
+        t0 = self.sim.now
+        while True:
+            yield rec.sync
+            lead = job.rank_procs.get(rank)
+            if lead is None or not lead.alive:
+                # The lead died between its checkpoint and our clone;
+                # whatever recovery that death triggered owns us now --
+                # re-arm against the next lead checkpoint in case we
+                # stay a standby.
+                rec.sync = Event(self.sim)
+                rec.eligible_ds = None
+                continue
+            nbytes = max(
+                sum(p.nbytes for p in lead.storage._blobs.values()), 64.0
+            )
+            try:
+                yield job.machine.fabric.send(
+                    lead.node, fmi_ctx.node, nbytes,
+                    sw_overhead=job.transport.sw_overhead,
+                )
+                yield fmi_ctx.node.memcpy(nbytes)
+            except Exception:
+                rec.sync = Event(self.sim)
+                rec.eligible_ds = None
+                continue
+            if lead.alive:
+                break
+            rec.sync = Event(self.sim)
+            rec.eligible_ds = None
+        # Clone the lead's in-memory checkpoint storage wholesale, then
+        # restore the newest dataset we hold a channel snapshot for
+        # (the lead may have checkpointed again mid-transfer).
+        fmi_ctx.fproc.storage._blobs = {
+            k: p.copy() for k, p in lead.storage._blobs.items()
+        }
+        fmi_ctx.fproc.storage._meta = {
+            k: dict(m) for k, m in lead.storage._meta.items()
+        }
+        ids = [
+            ds for ds in fmi_ctx.engine.completed_ids()
+            if (rank, ds) in self.snapshots
+        ]
+        if not ids:
+            # Snapshot/storage retention rotate together, so this means
+            # the plane state was wiped (fallback) under our feet; the
+            # fallback killed or will kill this copy.
+            rec.sync = Event(self.sim)
+            yield rec.sync
+            raise AssertionError("unreachable: standby outlived fallback")
+        dataset = max(ids)
+        snap = self.snapshots[(rank, dataset)]
+        self.counters[ctx] = dict(snap.counters)
+        seen = set(snap.consumed)
+        self.seen[ctx] = seen
+        self.consumed[ctx] = set(snap.consumed)
+        self.det_cursor[ctx] = snap.det_len
+        # Synced: stop buffering and deliver what the snapshot has not
+        # already consumed.
+        pend = self.pending.pop(ctx, [])
+        self.standby_recs.pop(ctx, None)
+        delivered = 0
+        for env in pend:
+            if env.epoch < ctx.epoch:
+                continue
+            key = (env.lseq[0], env.lseq[2])
+            if key in seen:
+                continue
+            seen.add(key)
+            ctx.matching.deliver(env)
+            delivered += 1
+        self.standby_syncs += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "repl.standby.sync", "repl", rank=rank, copy=rec.copy,
+                dataset=dataset, waited=self.sim.now - t0,
+                delivered=delivered, buffered=len(pend),
+            )
+        meta = yield from fmi_ctx.engine._my_meta(dataset)
+        blob = yield from fmi_ctx.engine.load_blob(dataset)
+        return meta, _slice(blob, meta)

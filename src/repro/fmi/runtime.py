@@ -55,7 +55,11 @@ class RankState:
 class FmiProcess(RankProcess):
     """One rank's runtime process (one incarnation)."""
 
-    def __init__(self, job, rank: int, node: Node, incarnation: int):
+    def __init__(self, job, rank: int, node: Node, incarnation: int,
+                 copy: int = 0):
+        #: which physical copy of the virtual rank this process is
+        #: (always 0 unless recovery="replicated")
+        self.copy = copy
         self.storage = MemoryStorage(node)
         self.rank_state = RankState(job.config)
         self.state = ProcState.H1_BOOTSTRAPPING
@@ -64,9 +68,13 @@ class FmiProcess(RankProcess):
         super().__init__(job, rank, node, incarnation)
 
     def _ctx_label(self) -> str:
+        if self.copy:
+            return f"fmi:r{self.rank}c{self.copy}i{self.incarnation}"
         return f"fmi:r{self.rank}i{self.incarnation}"
 
     def _proc_name(self) -> str:
+        if self.copy:
+            return f"fmi:rank{self.rank}c{self.copy}.{self.incarnation}"
         return f"fmi:rank{self.rank}.{self.incarnation}"
 
     # -- liveness / notification ------------------------------------------------
@@ -165,14 +173,22 @@ class FmiProcess(RankProcess):
         plane = job.recovery_plane
         if plane is None:
             self.ctx.epoch = job.epoch  # stale pre-failure traffic now drops
+            self.ctx.matching.reset()
+            job.register_endpoint(self.rank, self.ctx)
+        elif plane.kind == "replicated":
+            # The plane owns the whole wiring decision: era epoch,
+            # dedup filter, determinant sink, and whether this copy is
+            # the lead (endpoint table), a follower (mirror target), or
+            # a re-arming standby (buffer + sync record).
+            plane.on_h1(self)
         else:
             # Partial rollback never raises the envelope epoch:
             # survivor traffic stays valid across the recovery, and
             # exact-once delivery is the plane's lseq filter instead.
             self.ctx.matching.match_sink = plane.make_sink(self.rank)
-        self.ctx.matching.reset()
-        job.register_endpoint(self.rank, self.ctx)
-        rdv = job.h1_rendezvous(self.rank)
+            self.ctx.matching.reset()
+            job.register_endpoint(self.rank, self.ctx)
+        rdv = job.h1_rendezvous(self.rank, self)
         yield rdv.arrive()
 
     def _h2(self):
@@ -183,11 +199,22 @@ class FmiProcess(RankProcess):
         yield self.sim.timeout(job.machine.spec.network.overlay_connect_cost * n_conn)
         # Under partial rollback survivors never re-join, so a
         # replacement must join the epoch-0 overlay to reach them.
-        overlay_epoch = 0 if job.recovery_plane is not None else job.epoch
-        job.detector.join(self, overlay_epoch)
-        rdv = job.h2_rendezvous(self.rank)
+        # Replicated jobs only ring the *lead* copies together
+        # (followers and standbys are shadows; fmirun's task monitoring
+        # plus the plane's direct pokes cover them).
+        plane = job.recovery_plane
+        is_lead = (
+            plane is None
+            or plane.kind != "replicated"
+            or job.rank_procs.get(self.rank) is self
+        )
+        if is_lead:
+            overlay_epoch = 0 if plane is not None else job.epoch
+            job.detector.join(self, overlay_epoch)
+        rdv = job.h2_rendezvous(self.rank, self)
         yield rdv.arrive()
-        job.note_recovery_complete()
+        if is_lead:
+            job.note_recovery_complete()
 
     def _h3(self):
         """Running: (re)start the application generator."""
@@ -225,11 +252,14 @@ class FmirunTask:
 
     def spawn_ranks(self, ranks: List[int], incarnation: int) -> None:
         job = self.fmirun.job
+        copy = self.slot // job.num_nodes  # replica tier of this slot
         for rank in ranks:
-            fproc = job.make_rank_process(rank, self.node, incarnation=incarnation)
+            fproc = job.make_rank_process(
+                rank, self.node, incarnation=incarnation, copy=copy
+            )
             self.children.append(fproc)
             fproc.proc.callbacks.append(self._child_exit(fproc))
-            job.rank_procs[rank] = fproc
+            job.adopt_rank_process(fproc)
 
     def _child_exit(self, fproc: FmiProcess):
         def cb(evt: Event) -> None:
@@ -245,7 +275,11 @@ class FmirunTask:
             for sibling in self.children:
                 if sibling is not fproc and sibling.proc.alive:
                     sibling.proc.kill(cause="fmirun.task sibling kill")
-            self.fmirun.job.detector.process_died(fproc.rank, "child-death")
+            # Only a *lead* copy's death is overlay-visible: follower
+            # and standby deaths never joined the ring and must not
+            # trigger a detector broadcast under their rank's name.
+            if self.fmirun.job.rank_procs.get(fproc.rank) is fproc:
+                self.fmirun.job.detector.process_died(fproc.rank, "child-death")
             self._guard.kill(cause="fmirun.task EXIT_FAILURE")
             self.fmirun.on_task_failure(self, f"child rank {fproc.rank} died")
 
@@ -280,6 +314,31 @@ class Fmirun(Survivable):
     @property
     def replacement_timeout(self) -> Optional[float]:
         return self.job.config.replacement_timeout
+
+    @property
+    def num_copies(self) -> int:
+        if self.job.config.recovery == "replicated":
+            return self.job.config.replication_degree
+        return 1
+
+    # -- replication-aware recovery hooks -------------------------------------
+    def _notify_targets(self):
+        plane = self.job.recovery_plane
+        if plane is not None and plane.kind == "replicated":
+            return plane.all_procs()
+        return super()._notify_targets()
+
+    def _slot_procs(self, slot: int):
+        plane = self.job.recovery_plane
+        if plane is not None and plane.kind == "replicated":
+            return plane.slot_procs(slot)
+        return super()._slot_procs(slot)
+
+    def _reuse_healthy_node(self, slot: int) -> bool:
+        # A replicated slot whose processes were sibling-killed (not a
+        # node crash) respawns on its own still-healthy node instead of
+        # burning a spare -- re-arming must not exhaust the pool.
+        return self.num_copies > 1
 
     # -- FMI-specific pieces ---------------------------------------------------
     def make_task(self, slot: int, node: Node) -> FmirunTask:

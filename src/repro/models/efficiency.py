@@ -23,13 +23,29 @@ from __future__ import annotations
 
 import math
 
-from repro.models.vaidya import expected_runtime_factor, optimal_interval
+from repro.models.vaidya import (
+    _check_finite,
+    expected_runtime_factor,
+    optimal_interval,
+)
 
-__all__ = ["single_level_efficiency", "multilevel_efficiency"]
+__all__ = [
+    "single_level_efficiency",
+    "multilevel_efficiency",
+    "replication_efficiency",
+    "replication_vs_cr_crossover",
+]
 
 
 def single_level_efficiency(ckpt_cost: float, mtbf: float, restart_cost: float = 0.0) -> float:
     """Best-case efficiency (useful/wall) of one C/R level."""
+    _check_finite(ckpt_cost=ckpt_cost, mtbf=mtbf, restart_cost=restart_cost)
+    if ckpt_cost < 0:
+        raise ValueError("ckpt_cost must be >= 0")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be positive")
+    if restart_cost < 0:
+        raise ValueError("restart_cost must be >= 0")
     if ckpt_cost == 0.0:
         return 1.0
     t = optimal_interval(ckpt_cost, mtbf, restart_cost)
@@ -60,6 +76,7 @@ def multilevel_efficiency(
     which is the mechanism behind Fig 17's efficiency collapse when
     both failure rates and 10 GB/node level-2 costs scale 50x.
     """
+    _check_finite(c1=c1, r1=r1, l1=l1, c2=c2, r2=r2, l2=l2)
     for name, v in (("c1", c1), ("r1", r1), ("c2", c2), ("r2", r2)):
         if v < 0:
             raise ValueError(f"{name} must be >= 0")
@@ -123,3 +140,123 @@ def multilevel_efficiency(
     if not math.isfinite(best):
         return 0.0
     return 1.0 / best
+
+
+def replication_efficiency(
+    degree: int,
+    mtbf: float,
+    n_nodes: int,
+    ckpt_cost: float = 10.0,
+    restart_cost: float = 10.0,
+    rearm_window: float = 60.0,
+    failover_cost: float = 0.2,
+) -> float:
+    """Efficiency (useful/wall) of ``degree``-modular rank replication.
+
+    ``mtbf`` is the *per-node* MTBF in seconds and ``n_nodes`` the
+    virtual job size in nodes (each backed by ``degree`` physical
+    nodes, so the hardware bill is ``degree * n_nodes``).
+
+    A single copy's death costs only ``failover_cost`` seconds (the
+    replica is promoted in place -- no rollback).  The job only falls
+    back to C/R when *all* copies of one virtual rank die inside the
+    ``rearm_window`` it takes to re-arm a fresh replica from a spare:
+    first deaths arrive at rate ``n * d * lam`` and each must be
+    chased by ``d - 1`` further copy-deaths (probability ``lam * w``
+    apiece), giving a catastrophic MTBF of
+    ``1 / (n * d * lam * (lam * w)^(d-1))``.  Checkpointing still runs
+    underneath at that far-longer effective MTBF, so the replicated
+    efficiency is ``(1/degree)`` (the redundant hardware) times the
+    single-level C/R efficiency at the catastrophic MTBF, discounted by
+    failover time (FTHP-MPI's model shape; ReStore's in-memory replica
+    state keeps ``failover_cost`` near zero).
+
+    ``degree=1`` degenerates exactly to plain C/R at the system MTBF.
+    """
+    _check_finite(mtbf=mtbf, ckpt_cost=ckpt_cost, restart_cost=restart_cost,
+                  rearm_window=rearm_window, failover_cost=failover_cost)
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be positive")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if ckpt_cost < 0 or restart_cost < 0:
+        raise ValueError("costs must be >= 0")
+    if rearm_window <= 0:
+        raise ValueError("rearm_window must be positive")
+    if failover_cost < 0:
+        raise ValueError("failover_cost must be >= 0")
+    lam = 1.0 / mtbf
+    if degree == 1:
+        return single_level_efficiency(ckpt_cost, mtbf / n_nodes, restart_cost)
+    catastrophic_rate = n_nodes * degree * lam * (lam * rearm_window) ** (degree - 1)
+    if catastrophic_rate <= 0:
+        e_cr = 1.0
+    else:
+        e_cr = single_level_efficiency(
+            ckpt_cost, 1.0 / catastrophic_rate, restart_cost
+        )
+    # Failovers steal wall time at the full copy-death rate.
+    failover_drag = 1.0 + n_nodes * degree * lam * failover_cost
+    return (1.0 / degree) * e_cr / failover_drag
+
+
+def replication_vs_cr_crossover(
+    n_nodes: int,
+    degree: int = 2,
+    ckpt_cost: float = 10.0,
+    restart_cost: float = 10.0,
+    rearm_window: float = 60.0,
+    failover_cost: float = 0.2,
+    lo: float = 1e-1,
+    hi: float = 1e9,
+) -> float:
+    """Node-MTBF (seconds) below which replication beats plain C/R.
+
+    Answers the FTHP-MPI question the paper's Fig 17 never plotted: at
+    what per-node MTBF does ``1/degree`` hardware redundancy out-run
+    checkpoint/restart at system MTBF ``mtbf/n``?  Reliable machines
+    (large MTBF) favour C/R -- replication can never beat ``1/degree``
+    efficiency -- while failure-dense machines collapse C/R's renewal
+    term long before they dent the replicated plane's catastrophic
+    MTBF.  Bisects the gap on a log scale; raises if no crossover
+    exists inside ``[lo, hi]``.
+    """
+
+    def gap(mtbf: float) -> float:
+        repl = replication_efficiency(
+            degree, mtbf, n_nodes, ckpt_cost, restart_cost,
+            rearm_window, failover_cost,
+        )
+        cr = single_level_efficiency(ckpt_cost, mtbf / n_nodes, restart_cost)
+        return repl - cr
+
+    # Both planes collapse to ~0 efficiency at extreme failure density,
+    # so the endpoints themselves need not bracket: scan log-spaced
+    # samples for the highest MTBF where replication still wins, then
+    # bisect against its right neighbour.
+    samples = 120
+    la, lb = math.log(lo), math.log(hi)
+    a = b = None
+    for i in range(samples):
+        x = la + (lb - la) * i / (samples - 1)
+        if gap(math.exp(x)) > 0:
+            a = x
+        elif a is not None:
+            b = x
+            break
+    if a is None or b is None:
+        raise ValueError(
+            f"no replication-vs-C/R crossover in [{lo:g}, {hi:g}] s for "
+            f"n_nodes={n_nodes}, degree={degree}"
+        )
+    for _ in range(200):
+        m = 0.5 * (a + b)
+        if gap(math.exp(m)) > 0:
+            a = m  # replication still winning: crossover is above
+        else:
+            b = m
+        if b - a < 1e-12 * max(1.0, abs(b)):
+            break
+    return math.exp(0.5 * (a + b))

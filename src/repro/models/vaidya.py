@@ -22,24 +22,41 @@ import math
 __all__ = ["expected_runtime_factor", "optimal_interval", "young_interval"]
 
 
+def _check_finite(**params: float) -> None:
+    """Reject NaN/inf model inputs with the offending name."""
+    for name, value in params.items():
+        if not math.isfinite(value):
+            raise ValueError(f"{name} must be finite, got {value!r}")
+
+
 def expected_runtime_factor(
     interval: float, ckpt_cost: float, mtbf: float, restart_cost: float = 0.0
 ) -> float:
     """Expected wall seconds per useful second at this interval."""
+    _check_finite(interval=interval, ckpt_cost=ckpt_cost, mtbf=mtbf,
+                  restart_cost=restart_cost)
     if interval <= 0:
         raise ValueError("interval must be positive")
     if mtbf <= 0:
         raise ValueError("mtbf must be positive")
+    if ckpt_cost < 0:
+        raise ValueError("ckpt_cost must be >= 0")
+    if restart_cost < 0:
+        raise ValueError("restart_cost must be >= 0")
     lam = 1.0 / mtbf
     x = lam * (interval + ckpt_cost)
     # Guard against overflow in pathological corners of optimisation.
     if x > 700:
         return math.inf
-    return math.exp(lam * restart_cost) * (math.exp(x) - 1.0) / (lam * interval)
+    # expm1 keeps the near-failure-free limit exact: for x below float
+    # epsilon, exp(x) - 1.0 rounds to 0 and the factor collapses to 0
+    # instead of its true limit (interval + ckpt_cost) / interval >= 1.
+    return math.exp(lam * restart_cost) * math.expm1(x) / (lam * interval)
 
 
 def young_interval(ckpt_cost: float, mtbf: float) -> float:
     """First-order closed form: sqrt(2 * C * MTBF)."""
+    _check_finite(ckpt_cost=ckpt_cost, mtbf=mtbf)
     if ckpt_cost < 0 or mtbf <= 0:
         raise ValueError("need ckpt_cost >= 0 and mtbf > 0")
     return math.sqrt(2.0 * ckpt_cost * mtbf)
@@ -50,7 +67,14 @@ def optimal_interval(
 ) -> float:
     """Numerically optimal useful-work segment length between
     checkpoints (seconds)."""
-    if ckpt_cost <= 0:
+    _check_finite(ckpt_cost=ckpt_cost, mtbf=mtbf, restart_cost=restart_cost)
+    if ckpt_cost < 0:
+        raise ValueError("ckpt_cost must be >= 0")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be positive")
+    if restart_cost < 0:
+        raise ValueError("restart_cost must be >= 0")
+    if ckpt_cost == 0:
         # Free checkpoints: checkpoint as often as possible; callers
         # clamp to one application iteration.
         return 0.0

@@ -58,6 +58,12 @@ class NetContext:
         #: current recovery epoch; bumped by the FMI runtime on recovery
         self.epoch = 0
         self.closed = False
+        #: per-context delivery filter (replication plane): called with
+        #: every lseq-stamped envelope just before delivery; returning
+        #: False suppresses it (cross-copy duplicate, or buffered by an
+        #: unsynced standby).  Unlike ``Transport.recovery_filter`` this
+        #: is per *copy*, not per rank.
+        self.recv_filter = None
         #: stale envelopes dropped by the epoch filter
         self.stale_dropped = 0
         #: sequence numbers already delivered (duplicate suppression;
@@ -128,6 +134,13 @@ class Transport:
         self.recovery_filter = None
         #: envelopes suppressed by the recovery filter
         self.replay_dup_dropped = 0
+        #: replication plane (set by the replicated recovery family):
+        #: sends to a lead rank's address fan out cloned envelopes to
+        #: its live replicas, and per-context ``recv_filter``s keep the
+        #: copies' delivery streams duplicate-free
+        self.replication = None
+        #: envelopes suppressed/buffered by per-context recv filters
+        self.replication_filtered = 0
         # -- macro-event collectives --
         #: lazily-created per-job coordinator (repro.mpi.macro); lives
         #: here because the transport is the per-job rendezvous object
@@ -169,6 +182,10 @@ class Transport:
             return "limp"
         if self.recovery_filter is not None:
             return "msglog"
+        if self.replication is not None:
+            # Mirroring happens per physical hop: a macro-collapsed
+            # collective would bypass the replicas entirely.
+            return "replicated"
         if self.sim.tracer.enabled or self.sim.metrics.enabled:
             return "observability"
         return None
@@ -217,6 +234,13 @@ class Transport:
         cannot tell -- PSM semantics).  It only fails if the *sender's*
         node is down.
         """
+        repl = self.replication
+        if repl is not None and env.lseq is not None:
+            # Mirror onto the replicas shadowing this destination.  The
+            # clones carry fresh (non-lead) addresses, so the recursive
+            # sends fan out exactly once.
+            for maddr, menv in repl.mirror_copies(dst_addr, env):
+                self.send(src, maddr, menv)
         dst_node = self.machine.nodes[dst_addr[0]]
         fabric = self.machine.fabric
         wire = fabric.send(
@@ -260,6 +284,8 @@ class Transport:
                     and not self.recovery_filter(env)
                 ):
                     self.replay_dup_dropped += 1
+                elif ctx.recv_filter is not None and not ctx.recv_filter(env):
+                    self.replication_filtered += 1
                 else:
                     if self._lossy:
                         ctx.delivered_seqs.add(env.seq)
@@ -361,6 +387,9 @@ class Transport:
         ):
             self.replay_dup_dropped += 1
             outcome = "net.drop_replay_dup"
+        elif ctx.recv_filter is not None and not ctx.recv_filter(env):
+            self.replication_filtered += 1
+            outcome = "net.drop_replica_dup"
         else:
             if self._lossy:
                 ctx.delivered_seqs.add(env.seq)

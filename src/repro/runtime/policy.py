@@ -23,6 +23,7 @@ from repro.simt.process import ProcessKilled
 __all__ = [
     "FaultPolicy", "FailStop", "Survivable",
     "RecoveryStrategy", "GlobalRollback", "PartialRollback",
+    "ReplicatedFailover",
 ]
 
 
@@ -48,6 +49,15 @@ class RecoveryStrategy:
     def absorb_notification(self, rproc, generation: int) -> bool:
         """True if ``rproc`` should record this failure notification
         without acting on it (no unwind to H1)."""
+        return False
+
+    def try_failover(self, policy: "Survivable", cause: str) -> bool:
+        """Attempt to recover without any rollback at all (promote a
+        live replica in place).  Returns True when the failure was
+        absorbed by failover -- the policy then skips the rank
+        notifications and the safety sweep entirely; survivors never
+        learn a failure happened.  Rollback-based strategies always
+        return False."""
         return False
 
 
@@ -76,6 +86,30 @@ class PartialRollback(RecoveryStrategy):
         # rank caught *mid-restore* must unwind and retry, though: its
         # sidecar rebuild ensemble may include the newly dead node.
         return rproc.rank not in self.plane.recovering
+
+
+class ReplicatedFailover(RecoveryStrategy):
+    """Dual-modular redundancy (``recovery="replicated"``): every
+    virtual rank is backed by ``replication_degree`` live processes.
+    A copy's death is absorbed by promoting a surviving copy in place
+    (:meth:`try_failover`); nobody rolls back, nobody even leaves H3.
+    Only when *all* copies of some rank die inside the re-arm window
+    does the plane fall back to an ordinary global C/R restore."""
+
+    name = "replicated"
+    unwind_survivors = False
+    rendezvous_scope = "world"
+
+    def __init__(self, plane):
+        self.plane = plane
+
+    def absorb_notification(self, rproc, generation: int) -> bool:
+        # Failover epochs are invisible: every copy absorbs.  Only the
+        # fallback epoch (some rank lost every copy) unwinds to H1.
+        return generation != self.plane.fallback_epoch
+
+    def try_failover(self, policy: "Survivable", cause: str) -> bool:
+        return self.plane.try_failover(policy, cause)
 
 
 #: shared default instance (stateless)
@@ -227,7 +261,7 @@ class Survivable(FaultPolicy):
     def start(self) -> None:
         job = self.job
         self.alloc = self.machine.rm.allocate(
-            job.num_nodes, num_spares=self.num_spares
+            job.num_nodes * self.num_copies, num_spares=self.num_spares
         )
         self.node_slots = list(self.alloc.nodes)
         for slot, node in enumerate(self.node_slots):
@@ -236,7 +270,9 @@ class Survivable(FaultPolicy):
     def _start_task(self, slot: int, node: Node, incarnation: int) -> None:
         task = self.make_task(slot, node)
         self.tasks[slot] = task
-        task.spawn_ranks(self.job.ranks_of_slot(slot), incarnation)
+        task.spawn_ranks(
+            self.job.ranks_of_slot(slot % self.job.num_nodes), incarnation
+        )
 
     # -- rank death ----------------------------------------------------------
     def on_rank_exit(self, rproc: RankProcess, proc_evt: Event) -> None:
@@ -265,14 +301,19 @@ class Survivable(FaultPolicy):
         self._last_bump_time = self.sim.now
         job.epoch += 1
         job.recovery_causes.append((self.sim.now, cause))
-        # In-flight macro collective instances are dead timelines now:
-        # every rank will unwind to H1 and replay the collective
-        # sequence from the restored iteration, so the coordinator's
-        # counters and pending completions must start clean.
-        job.transport.macro_reset()
+        failover = self.recovery_strategy.try_failover(self, cause)
+        if not failover:
+            # In-flight macro collective instances are dead timelines
+            # now: every rank will unwind to H1 and replay the
+            # collective sequence from the restored iteration, so the
+            # coordinator's counters and pending completions must start
+            # clean.  A failover keeps every survivor's timeline, so
+            # the fidelity guard (not a reset) handles it.
+            job.transport.macro_reset()
         if self.sim.tracer.enabled:
             self.sim.tracer.instant(
                 "recovery.begin", "recovery", epoch=job.epoch, cause=cause,
+                failover=failover,
             )
         if self.sim.metrics.enabled:
             self.sim.metrics.counter("fmi.recoveries").inc()
@@ -282,29 +323,55 @@ class Survivable(FaultPolicy):
                 f"exceeded max_recoveries={self.max_recoveries}"
             ))
             return
-        # Processes already recovering from an earlier failure have no
-        # detection overlay to hear through; the master re-syncs them
-        # directly.  Running processes hear via the overlay (log-ring).
-        for rproc in job.rank_procs.values():
-            if rproc.alive and rproc.needs_resync:
-                rproc.notify_failure(job.epoch, "fmirun re-sync")
+        if not failover:
+            # Processes already recovering from an earlier failure have
+            # no detection overlay to hear through; the master re-syncs
+            # them directly.  Running processes hear via the overlay
+            # (log-ring).
+            for rproc in self._notify_targets():
+                if rproc.alive and rproc.needs_resync:
+                    rproc.notify_failure(job.epoch, "fmirun re-sync")
         if self._recovery_proc is None or not self._recovery_proc.alive:
             self._recovery_proc = self.sim.spawn(
                 self._recover(), name="fmirun.recover"
             )
-        # Safety sweep: anything still un-notified well after the
-        # overlay should have reached it gets a direct poke.
-        sweep = self.sim.timeout(1.0)
-        target = job.epoch
-        sweep.callbacks.append(lambda _e: self._sweep(target))
+        if not failover:
+            # Safety sweep: anything still un-notified well after the
+            # overlay should have reached it gets a direct poke.
+            sweep = self.sim.timeout(1.0)
+            target = job.epoch
+            sweep.callbacks.append(lambda _e: self._sweep(target))
+
+    def _notify_targets(self):
+        """Processes a recovery must reach (replication widens this to
+        every live copy, not just the current leads)."""
+        return list(self.job.rank_procs.values())
 
     def _sweep(self, generation: int) -> None:
         job = self.job
         if job.finished or job.epoch != generation:
             return
-        for rproc in job.rank_procs.values():
+        for rproc in self._notify_targets():
             if rproc.alive and rproc.notified_gen < generation:
                 rproc.notify_failure(generation, "fmirun sweep")
+
+    # -- slot geometry hooks (replication multiplies the slot space) ---------
+    @property
+    def num_copies(self) -> int:
+        """Physical rank-processes per virtual rank; physical slot
+        ``s`` hosts copy ``s // num_nodes`` of virtual slot
+        ``s % num_nodes``."""
+        return 1
+
+    def _slot_procs(self, slot: int) -> List[RankProcess]:
+        """The rank processes hosted on physical slot ``slot``."""
+        return [self.job.rank_procs[r] for r in self.job.ranks_of_slot(slot)]
+
+    def _reuse_healthy_node(self, slot: int) -> bool:
+        """Whether a slot whose processes died on a still-healthy node
+        may respawn onto that same node (replication's fallback kills
+        un-synced standby *processes* without touching their nodes)."""
+        return False
 
     def _recover(self):
         """Replace failed nodes and respawn their ranks (Figure 6)."""
@@ -312,43 +379,66 @@ class Survivable(FaultPolicy):
         spec = self.machine.spec
         while True:
             target_epoch = job.epoch
-            for slot in range(job.num_nodes):
+            for slot in range(job.num_nodes * self.num_copies):
                 node = self.node_slots[slot]
                 task = self.tasks.get(slot)
-                ranks = job.ranks_of_slot(slot)
+                procs = self._slot_procs(slot)
                 if all(
-                    job.rank_procs[r].alive or r in job.finished_ranks
-                    for r in ranks
+                    p.alive or p.rank in job.finished_ranks
+                    for p in procs
                 ) and node.alive and task is not None and not task.failed:
                     continue
                 # This slot needs a fresh node (spare list first, then
-                # the resource manager).
+                # the resource manager).  Any node we acquire can be
+                # killed while we wait -- the spare while idle in the
+                # reserve pool, the granted node during the grant
+                # latency, or either during the task-spawn window -- so
+                # every acquisition is re-checked after each wait and
+                # retried until a task starts on a *live* node.
+                if task is not None and not task.failed:
+                    # A broken slot whose guard never reported: this
+                    # scan can land on a fresh failure before the
+                    # guard's exit callback fires (shutting it down
+                    # below would then suppress the report forever).
+                    # Open the failure's epoch first so the recovery
+                    # strategy classifies it before the respawn; a
+                    # report already in flight at this instant
+                    # coalesces in begin_recovery.
+                    self.on_task_failure(task, "discovered during recovery")
                 if task is not None:
                     task.shutdown()
-                new_node = self.alloc.take_spare()
-                if new_node is None:
-                    request = self.machine.rm.request_replacement()
-                    deadline = self.replacement_timeout
-                    if deadline is None:
-                        new_node = yield request
+                while True:
+                    if node is not None and node.alive and self._reuse_healthy_node(slot):
+                        new_node = node
+                        node = None  # one reuse attempt only
                     else:
-                        from repro.simt.primitives import AnyOf
+                        new_node = self.alloc.take_spare()
+                    if new_node is None:
+                        request = self.machine.rm.request_replacement()
+                        deadline = self.replacement_timeout
+                        if deadline is None:
+                            new_node = yield request
+                        else:
+                            from repro.simt.primitives import AnyOf
 
-                        idx, value = yield AnyOf(
-                            self.sim, [request, self.sim.timeout(deadline)]
-                        )
-                        if idx == 1:
-                            job.abort(self.abort_error(
-                                f"no replacement node granted within "
-                                f"{deadline}s (machine exhausted?)"
-                            ))
-                            return
-                        new_node = value
-                self.node_slots[slot] = new_node
-                yield self.sim.timeout(spec.proc_spawn_latency)  # start the task
-                incarnation = max(
-                    job.rank_procs[r].incarnation for r in ranks
-                ) + 1
+                            idx, value = yield AnyOf(
+                                self.sim, [request, self.sim.timeout(deadline)]
+                            )
+                            if idx == 1:
+                                job.abort(self.abort_error(
+                                    f"no replacement node granted within "
+                                    f"{deadline}s (machine exhausted?)"
+                                ))
+                                return
+                            new_node = value
+                    if not new_node.alive:
+                        continue  # died during the grant; ask again
+                    self.node_slots[slot] = new_node
+                    yield self.sim.timeout(spec.proc_spawn_latency)  # start the task
+                    if new_node.alive:
+                        break
+                    # Killed in the spawn window: acquire another node.
+                incarnation = max(p.incarnation for p in procs) + 1
                 self._start_task(slot, new_node, incarnation)
             if job.epoch == target_epoch:
                 return

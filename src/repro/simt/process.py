@@ -127,6 +127,15 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if self._killed or self._value is not _PENDING:  # killed/finished
             return
+        # Single-shot resume: if some *other* event still holds our
+        # callback (an interrupt raced the bootstrap init before
+        # ``_target`` was ever set, leaving two registrations), drop it
+        # now -- otherwise that event later resumes the generator in
+        # place of whatever it is actually waiting on, permanently
+        # desynchronising yield values.  On the normal path ``_target``
+        # *is* ``event`` and its callback list is already detached by
+        # the dispatch loop, so this is a no-op.
+        self._detach()
         self._target = None
         self.sim._active_proc = self
         try:

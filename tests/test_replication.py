@@ -1,0 +1,346 @@
+"""The replication recovery plane: unit + end-to-end coverage.
+
+Unit tests drive :class:`~repro.fmi.replication.ReplicationPlane`
+against a stub job (lseq stamping, payload-snapshotting mirrors, the
+exact-once receive filter).  The end-to-end tests run a killed BSP job
+under ``recovery="replicated"`` and require it to land bit-identical on
+the failure-free answer *without any rank ever opening a checkpoint
+restore* -- failover, not rollback -- plus the graceful fall-back when
+both copies of one virtual rank die, and regressions for the recovery
+scan's swallowed-failure race.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import bsp_app, expected_bsp_state
+from repro.chaos.invariants import check_zero_rollback
+from repro.cluster import Machine
+from repro.cluster.spec import SIERRA
+from repro.fmi import FmiConfig, FmiJob
+from repro.fmi.replication import ReplicationPlane
+from repro.models.efficiency import (
+    replication_efficiency,
+    replication_vs_cr_crossover,
+    single_level_efficiency,
+)
+from repro.net.message import Envelope
+from repro.obs import Tracer
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+# ------------------------------------------------------------ unit fixtures
+class _StubNode:
+    alive = True
+
+
+class _StubCtx:
+    """The context surface the plane's data path touches."""
+
+    def __init__(self, addr):
+        self.addr = addr
+        self.closed = False
+        self.node = _StubNode()
+
+
+class _StubJob:
+    def __init__(self, degree=2):
+        self.sim = Simulator()
+        self.config = FmiConfig(recovery="replicated",
+                                replication_degree=degree,
+                                spare_nodes=degree - 1)
+        self.num_ranks = 4
+        self.rank_procs = {}
+
+
+def _env(src=0, dst=1, tag=0, nbytes=8.0, data=1.0):
+    return Envelope(src=src, dst=dst, tag=tag, comm_id=0, epoch=0,
+                    nbytes=nbytes, data=data)
+
+
+def make_plane(degree=2):
+    job = _StubJob(degree)
+    return job, ReplicationPlane(job)
+
+
+# ------------------------------------------------------------- lseq stamping
+def test_on_send_stamps_per_context_sequences():
+    _job, plane = make_plane()
+    lead, follower = _StubCtx((0, 0)), _StubCtx((1, 0))
+    # Copies of one rank run the same channel schedule, so the two
+    # contexts must produce *identical* lseq streams independently.
+    for ctx in (lead, follower):
+        envs = [_env(src=0, dst=1) for _ in range(3)] + [_env(src=0, dst=2)]
+        for e in envs[:3]:
+            plane.on_send(0, 1, e, ctx=ctx)
+        plane.on_send(0, 2, envs[3], ctx=ctx)
+        assert [e.lseq for e in envs] == [(0, 1, 0), (0, 1, 1), (0, 1, 2),
+                                          (0, 2, 0)]
+
+
+# ------------------------------------------------------------------ mirrors
+def test_mirror_copies_snapshots_payloads():
+    _job, plane = make_plane()
+    replica = _StubCtx((1, 0))
+    plane.mirrors[(0, 0)] = [replica]
+    payload = np.arange(4, dtype=np.float64)
+    env = _env(data=payload)
+    env.lseq = (0, 1, 7)
+    out = plane.mirror_copies((0, 0), env)
+    assert len(out) == 1
+    addr, menv = out[0]
+    assert addr == replica.addr
+    assert menv.lseq == env.lseq  # dedup identity is shared...
+    assert np.array_equal(menv.data, payload)
+    assert menv.data is not payload  # ...but the buffer is not
+    assert plane.mirrored == 1
+
+
+def test_mirror_copies_skips_dead_and_closed_replicas():
+    _job, plane = make_plane()
+    closed, dead = _StubCtx((1, 0)), _StubCtx((2, 0))
+    closed.closed = True
+    dead.node = _StubNode()
+    dead.node.alive = False
+    plane.mirrors[(0, 0)] = [closed, dead]
+    assert plane.mirror_copies((0, 0), _env()) == []
+    assert plane.mirror_copies((9, 9), _env()) == ()  # no mirror entry
+
+
+# ------------------------------------------------------------ receive filter
+def test_recv_filter_is_exact_once_per_lseq():
+    _job, plane = make_plane()
+    ctx = _StubCtx((0, 0))
+    accept = plane._make_recv_filter(ctx)
+    env = _env()
+    env.lseq = (0, 1, 0)
+    assert accept(env) is True
+    assert accept(env) is False  # the mirrored duplicate
+    assert plane.dup_suppressed == 1
+    nxt = _env()
+    nxt.lseq = (0, 1, 1)
+    assert accept(nxt) is True
+
+
+def test_recv_filter_passes_unstamped_and_parks_on_standbys():
+    _job, plane = make_plane()
+    ctx = _StubCtx((0, 0))
+    accept = plane._make_recv_filter(ctx)
+    assert accept(_env()) is True  # no lseq: intra-slot / control traffic
+    plane.pending[ctx] = []  # now an unsynced standby
+    env = _env()
+    env.lseq = (0, 1, 0)
+    assert accept(env) is False
+    assert plane.pending[ctx] == [env]
+    assert plane.standby_buffered == 1
+
+
+# ------------------------------------------------------ config and guards
+def test_replicated_config_validation():
+    FmiConfig(recovery="replicated", spare_nodes=1)  # valid
+    with pytest.raises(ValueError, match="replication_degree must be >= 1"):
+        FmiConfig(recovery="replicated", replication_degree=0, spare_nodes=2)
+    with pytest.raises(ValueError, match="multilevel"):
+        FmiConfig(recovery="replicated", level2_every=2, spare_nodes=1)
+    with pytest.raises(ValueError, match="spare_nodes"):
+        FmiConfig(recovery="replicated", replication_degree=3, spare_nodes=1)
+
+
+# ------------------------------------------------------------ model layer
+def test_replication_efficiency_degenerates_to_plain_cr_at_degree_one():
+    e1 = replication_efficiency(1, mtbf=1e5, n_nodes=100)
+    assert e1 == single_level_efficiency(10.0, 1e5 / 100, 10.0)
+
+
+def test_replication_wins_on_failure_dense_machines_only():
+    # Reliable machine: C/R approaches 1, replication can never beat 1/2.
+    assert (replication_efficiency(2, mtbf=1e8, n_nodes=100)
+            < single_level_efficiency(10.0, 1e8 / 100, 10.0))
+    # Failure-dense machine: C/R's renewal term collapses first.
+    assert (replication_efficiency(2, mtbf=2e4, n_nodes=10_000)
+            > single_level_efficiency(10.0, 2e4 / 10_000, 10.0))
+
+
+def test_replication_model_validation():
+    with pytest.raises(ValueError, match="degree"):
+        replication_efficiency(0, mtbf=1e5, n_nodes=10)
+    with pytest.raises(ValueError, match="mtbf"):
+        replication_efficiency(2, mtbf=0.0, n_nodes=10)
+    with pytest.raises(ValueError, match="rearm_window"):
+        replication_efficiency(2, mtbf=1e5, n_nodes=10, rearm_window=0.0)
+    with pytest.raises(ValueError, match="finite"):
+        replication_efficiency(2, mtbf=math.nan, n_nodes=10)
+    with pytest.raises(ValueError, match="finite"):
+        replication_efficiency(2, mtbf=math.inf, n_nodes=10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    degree=st.integers(min_value=1, max_value=4),
+    mtbf=st.floats(min_value=1e-3, max_value=1e12),
+    n_nodes=st.integers(min_value=1, max_value=10**6),
+)
+def test_replication_efficiency_is_a_proper_fraction(degree, mtbf, n_nodes):
+    e = replication_efficiency(degree, mtbf, n_nodes)
+    assert 0.0 <= e <= 1.0
+    assert math.isfinite(e)
+
+
+def test_crossover_mtbf_grows_with_job_size():
+    xs = [replication_vs_cr_crossover(n) for n in (50, 1000, 100_000)]
+    assert xs == sorted(xs)
+    assert all(x > 0 for x in xs)
+
+
+def test_crossover_rejects_jobs_too_small_to_cross():
+    with pytest.raises(ValueError, match="no replication-vs-C/R crossover"):
+        replication_vs_cr_crossover(10)
+
+
+# --------------------------------------------------------------- end to end
+ITERS = 6
+
+
+def run_bsp(recovery, kills=(), seed=0, trace=False):
+    """``kills`` is a list of (node_id, time) crashes.  The replicated
+    geometry doubles the rank tier: 4 virtual slots live on nodes 0-3
+    (copy 0) and 4-7 (copy 1), with spares behind them."""
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(12), RngRegistry(seed))
+    tracer = Tracer(sim) if trace else None
+    job = FmiJob(
+        machine, bsp_app(ITERS, work_s=0.25), num_ranks=8, procs_per_node=2,
+        config=FmiConfig(interval=1, xor_group_size=4, recovery=recovery,
+                         spare_nodes=2),
+    )
+    done = job.launch()
+    for node, t in kills:
+        def killer(node=node, t=t):
+            yield sim.timeout(t)
+            machine.node(node).crash("injected")
+        sim.spawn(killer())
+    results = sim.run(until=done)
+    return job, tracer, results
+
+
+def _assert_failure_free_answer(results):
+    assert len(results) == 8
+    for rank, u in enumerate(results):
+        assert np.array_equal(u, expected_bsp_state(rank, 8, ITERS))
+
+
+def test_replicated_matches_global_and_failure_free_bitwise():
+    _j0, _t, clean = run_bsp("replicated")
+    _j1, _t, failover = run_bsp("replicated", kills=[(1, 1.6)])
+    _j2, _t, global_ = run_bsp("global", kills=[(1, 1.6)])
+    for results in (clean, failover, global_):
+        _assert_failure_free_answer(results)
+
+
+def test_failover_never_touches_checkpoint_restore():
+    job, tracer, results = run_bsp("replicated", kills=[(1, 1.6)], trace=True)
+    _assert_failure_free_answer(results)
+    names = [ev.name for ev in tracer.events]
+    # Node 1 hosted the copy-0 leads of ranks 2 and 3: both promote in
+    # place, nobody restores, and fresh replicas register to re-arm
+    # from the lead's channel snapshot -- not from stable storage.
+    assert names.count("ckpt.restore.begin") == 0
+    assert names.count("repl.promote") == 2
+    assert names.count("repl.standby.register") == 2
+    assert job.restores_done == 0
+    plane = job.recovery_plane
+    assert plane.promotions == 2
+    assert plane.fallbacks == 0
+    assert plane.mirrored > 0
+    assert check_zero_rollback(tracer) == []
+    # The paper's headline: failover beats the logged plane's measured
+    # 0.455 s recovery by construction.
+    latency = job.recovery_latency(1)
+    assert latency is not None and latency < 0.455
+
+
+def test_early_kill_rearms_replicas_from_the_lead_snapshot():
+    # An early kill leaves time for the full re-arm cycle: the fresh
+    # copies sync from the promoted lead's in-memory channel snapshot.
+    # ``restores_done`` counts those state *transfers* -- the stable
+    # storage restore path (``ckpt.restore.begin``) still never runs.
+    job, tracer, results = run_bsp("replicated", kills=[(0, 1.0)], trace=True)
+    _assert_failure_free_answer(results)
+    names = [ev.name for ev in tracer.events]
+    assert names.count("ckpt.restore.begin") == 0
+    assert names.count("repl.standby.sync") == 2
+    plane = job.recovery_plane
+    assert plane.promotions == 2
+    assert plane.standby_syncs == 2
+    assert plane.fallbacks == 0
+    assert check_zero_rollback(tracer) == []
+
+
+def test_replica_tier_kill_rearms_without_promotion():
+    # Node 5 hosts copy-1 *replicas*: survivors never see an unwind and
+    # no promotion happens -- just a background re-arm.
+    job, tracer, results = run_bsp("replicated", kills=[(5, 1.6)], trace=True)
+    _assert_failure_free_answer(results)
+    plane = job.recovery_plane
+    assert plane.promotions == 0
+    assert plane.fallbacks == 0
+    assert plane.replica_losses >= 1
+    assert job.restores_done == 0
+    names = [ev.name for ev in tracer.events]
+    assert names.count("ckpt.restore.begin") == 0
+    assert names.count("repl.standby.register") == 2
+    assert check_zero_rollback(tracer) == []
+
+
+def test_kill_both_copies_falls_back_to_coordinated_restore():
+    # Nodes 1 and 5 are the two copies of virtual slot 1.  With a gap
+    # larger than the re-arm window's start but before the sync
+    # completes, no synced copy of ranks 2/3 remains: the plane must
+    # fall back to the global restore -- gracefully, not wrongly.
+    job, tracer, results = run_bsp(
+        "replicated", kills=[(1, 1.6), (5, 1.65)], trace=True)
+    _assert_failure_free_answer(results)
+    names = [ev.name for ev in tracer.events]
+    plane = job.recovery_plane
+    assert plane.fallbacks == 1
+    assert names.count("repl.fallback") == 1
+    assert names.count("ckpt.restore.begin") > 0
+    # Every restore happened *after* the fallback opened.
+    assert check_zero_rollback(tracer) == []
+
+
+def test_recovery_scan_reports_discovered_failures():
+    # Regression: the second kill lands exactly one proc_spawn_latency
+    # (0.02 s) after the first, so the recovery scan wakes from its
+    # spawn timeout in the same instant the second guard exit is queued
+    # behind it.  The scan used to shut the broken task down first,
+    # which suppressed the queued failure report forever -- the job
+    # deadlocked with a half-promoted, never-recovered slot.
+    job, _tracer, results = run_bsp(
+        "replicated", kills=[(1, 1.6), (5, 1.62)])
+    _assert_failure_free_answer(results)
+    assert job.epoch == 2  # both deaths opened their own epoch
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    kill_time=st.floats(min_value=0.9, max_value=2.4),
+    kill_node=st.integers(min_value=0, max_value=7),
+)
+def test_replicated_answer_is_failure_free_for_any_single_kill(
+        kill_time, kill_node):
+    # Any single physical-node kill -- lead tier or replica tier, at
+    # any point of the run -- must land on the failure-free answer with
+    # zero checkpoint restores from stable storage.
+    job, tracer, results = run_bsp(
+        "replicated", kills=[(kill_node, kill_time)], trace=True)
+    _assert_failure_free_answer(results)
+    names = [ev.name for ev in tracer.events]
+    assert names.count("ckpt.restore.begin") == 0
+    assert job.recovery_plane.fallbacks == 0
+    assert check_zero_rollback(tracer) == []
