@@ -11,6 +11,11 @@ FMI-style system would ask:
    and without a survivable runtime.)
 3. Is my PFS fast enough for level-2 checkpoints as the machine grows?
    (Fig 17 multilevel-efficiency model.)
+4. How hard can I drive the cluster in service mode -- a shared
+   substrate admitting a stream of jobs -- before queue waits blow up?
+   (M/G/c model from ``repro.models.queueing``; cross-check any row
+   against the simulator with
+   ``python -m repro.sched --rate <r> --mtbf <m>``.)
 
 Run:  python examples/capacity_planner.py [scale_factor]
 """
@@ -27,6 +32,7 @@ from repro.cluster.spec import (
 from repro.models.availability import run_probability_curve
 from repro.models.cr_model import checkpoint_time, restart_time
 from repro.models.efficiency import multilevel_efficiency
+from repro.models.queueing import estimate_capacity
 from repro.models.vaidya import expected_runtime_factor, optimal_interval
 
 CKPT_PER_NODE = 1e9  # 1 GB/node
@@ -84,6 +90,35 @@ def main(scale: float = 10.0):
     print("reading: if the 10 GB/node column sags, the PFS -- not the")
     print("compute fabric -- is the resilience bottleneck at this scale")
     print("(the paper's closing point in Section VI-C).")
+    print()
+
+    # 4 -- service-mode headroom
+    print("4. service-mode headroom (shared cluster, stream of jobs)")
+    nodes, per_job, runtime = 64, 4, 600.0  # 10-min jobs on 4 nodes each
+    servers = nodes // per_job
+    print(f"   {nodes} nodes, {per_job} nodes/job, {runtime:.0f}s jobs "
+          f"-> {servers} job slots")
+    table = Table(
+        "M/G/c queue waits vs arrival rate (jobs/hour)",
+        ["jobs/h", "util", "P(wait)", "mean wait s", "p99 wait s", "goodput"],
+    )
+    sat = 3600.0 * servers / runtime
+    for frac in (0.3, 0.5, 0.7, 0.85, 0.95):
+        per_hour = frac * sat
+        est = estimate_capacity(
+            num_nodes=nodes, nodes_per_job=per_job,
+            arrival_rate=per_hour / 3600.0, ideal_runtime=runtime,
+            mtbf=mtbf1, interval=t_opt, ckpt_cost=c1, restart_cost=r1,
+        )
+        table.add(round(per_hour, 1), round(est.utilization, 2),
+                  round(est.prob_wait, 3), round(est.mean_wait, 1),
+                  round(est.p99_wait, 1), round(est.goodput, 3))
+    print(table.render())
+    print()
+    print("reading: waits stay negligible to ~70% utilization, then the")
+    print("queue takes over; failures shrink usable capacity (goodput)")
+    print("before they show up in the wait column.  Validate any row in")
+    print("the simulator: python -m repro.sched --rate R --mtbf M")
 
 
 if __name__ == "__main__":

@@ -59,6 +59,14 @@ coordinated restore:
 * ``replicated-kill-both-copies`` -- both copies of one virtual slot
   die within a tiny gap, wiping the rank's last synced copy; the plane
   must fall back gracefully and the answer must stay bit-equal.
+
+Multi-tenant campaign (service mode: several jobs share one cluster):
+
+* ``multi-tenant-kill`` -- three co-resident FMI jobs on one machine;
+  kills land in two of them within a small window.  Both victims must
+  recover independently (their own epochs, bit-equal answers) and the
+  bystander must never leave epoch 0 -- the ``tenant-isolation``
+  invariant.
 """
 
 from __future__ import annotations
@@ -73,6 +81,7 @@ from repro.chaos.scenario import (
     DrainSlot,
     KillRandomSlot,
     KillSlot,
+    KillTenantSlot,
     LimpSlot,
     Omission,
     OnEvent,
@@ -106,6 +115,9 @@ class Campaign:
     #: idle nodes beyond job + spares (the RM's on-demand pool)
     pool_extra: int = 2
     config_extra: Dict = field(default_factory=dict)
+    #: co-resident copies of the job on one shared cluster; > 1 turns
+    #: on the multi-tenant runner path and the tenant-isolation check
+    tenants: int = 1
 
     @property
     def num_slots(self) -> int:
@@ -119,13 +131,15 @@ class Campaign:
         return cfg.replication_degree if cfg.recovery == "replicated" else 1
 
     @property
-    def total_nodes(self) -> int:
+    def nodes_per_tenant(self) -> int:
+        """One tenant's allocation footprint (compute tiers + spares)."""
         # Replicated jobs allocate one node tier per copy: physical
         # slot s hosts copy s // num_slots of virtual slot s % num_slots.
-        return (
-            self.num_slots * self.replication_degree
-            + self.spare_nodes + self.pool_extra
-        )
+        return self.num_slots * self.replication_degree + self.spare_nodes
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes_per_tenant * self.tenants + self.pool_extra
 
     def make_config(self) -> FmiConfig:
         kwargs = dict(
@@ -276,6 +290,21 @@ def _logged_sequential_kills_rules(rng: np.random.Generator, c: Campaign) -> Lis
     ]
 
 
+def _multi_tenant_kill_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
+    # Kill one compute slot in each of the first two tenants within a
+    # small window; the remaining tenant(s) are bystanders.  Both
+    # victims must recover through their own epochs with no detector
+    # split-brain, and the bystanders must never leave epoch 0.
+    t0 = float(rng.uniform(1.5, 3.0))
+    gap = float(rng.choice([0.0, 0.05, 0.3]))
+    s0 = int(rng.integers(c.num_slots))
+    s1 = int(rng.integers(c.num_slots))
+    return [
+        Rule(AtTime(t0), KillTenantSlot(0, s0)),
+        Rule(AtTime(t0 + gap), KillTenantSlot(1, s1)),
+    ]
+
+
 def _replicated_single_kill_rules(rng: np.random.Generator, c: Campaign) -> List[Rule]:
     # Any *physical* slot: the copy-0 tier holds the boot-time leads
     # (killing one forces an in-place promotion), the upper tiers hold
@@ -387,6 +416,15 @@ CAMPAIGNS: Dict[str, Campaign] = {
             _logged_sequential_kills_rules,
             pool_extra=3,
             config_extra={"recovery": "logged"},
+        ),
+        Campaign(
+            "multi-tenant-kill",
+            "kills land in two co-resident tenants; both recover alone",
+            _multi_tenant_kill_rules,
+            tenants=3,
+            spare_nodes=1,
+            pool_extra=2,
+            config_extra={"level2_every": 1},
         ),
         Campaign(
             "replicated-single-kill",

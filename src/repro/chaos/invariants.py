@@ -43,6 +43,13 @@ Replication invariant:
   must never restore a checkpoint: failover promotes a live copy in
   place.  The only legal restores are at/after an explicit
   ``repl.fallback`` (every copy of some rank died).
+
+Multi-tenant invariant (shared-cluster runs that pass ``jobs=``):
+
+* **tenant-isolation** -- a kill aimed at one tenant is invisible to
+  every other tenant: bystanders end at epoch 0 with zero detector
+  notifications, targeted tenants each recover through their *own*
+  epochs, and nobody opens more epochs than kills aimed at it.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ __all__ = [
     "check_posted_receives", "check_detector_bounded", "check_answer",
     "check_no_split_brain", "check_suspicion_resolved",
     "check_link_accounting", "check_no_orphans", "check_zero_rollback",
-    "check_all",
+    "check_tenant_isolation", "check_all",
 ]
 
 
@@ -75,28 +82,36 @@ class Violation:
 
 # ----------------------------------------------------------- trace checkers
 def check_epoch_monotone(tracer) -> List[Violation]:
-    """Recovery epochs never run backwards, per rank."""
+    """Recovery epochs never run backwards, per (tenant, rank).
+
+    Keyed by the ``job`` label the runtime stamps on every ``fmi.*``
+    event: on a shared cluster two tenants legitimately run the same
+    rank numbers at unrelated epochs, and only same-tenant regressions
+    are bugs.
+    """
     out: List[Violation] = []
-    last_state_epoch: Dict[int, int] = {}
+    last_state_epoch: Dict[tuple, int] = {}
     last_notify_gen: Dict[tuple, int] = {}
     for ev in tracer.events:
         if ev.name == "fmi.state":
-            prev = last_state_epoch.get(ev.rank)
+            key = (ev.args.get("job"), ev.rank)
+            prev = last_state_epoch.get(key)
             if prev is not None and ev.epoch < prev:
                 out.append(Violation(
                     "epoch-monotone",
-                    f"rank {ev.rank} state epoch went {prev} -> {ev.epoch} "
-                    f"at t={ev.ts:.6g}",
+                    f"job {key[0]} rank {ev.rank} state epoch went "
+                    f"{prev} -> {ev.epoch} at t={ev.ts:.6g}",
                 ))
-            last_state_epoch[ev.rank] = ev.epoch
+            last_state_epoch[key] = ev.epoch
         elif ev.name == "fmi.notify":
-            key = (ev.rank, ev.incarnation)
+            key = (ev.args.get("job"), ev.rank, ev.incarnation)
             prev = last_notify_gen.get(key)
             if prev is not None and ev.epoch <= prev:
                 out.append(Violation(
                     "epoch-monotone",
-                    f"rank {ev.rank} (inc {ev.incarnation}) notified of "
-                    f"generation {ev.epoch} after {prev} at t={ev.ts:.6g}",
+                    f"job {key[0]} rank {ev.rank} (inc {ev.incarnation}) "
+                    f"notified of generation {ev.epoch} after {prev} "
+                    f"at t={ev.ts:.6g}",
                 ))
             last_notify_gen[key] = ev.epoch
     return out
@@ -362,20 +377,22 @@ def check_no_split_brain(tracer) -> List[Violation]:
 
 
 def check_suspicion_resolved(tracer) -> List[Violation]:
-    """Every raised suspicion is eventually cleared."""
+    """Every raised suspicion is eventually cleared (per tenant)."""
     pending: Dict[tuple, float] = {}
     for ev in tracer.events:
         if ev.name == "overlay.suspect":
-            pending[(ev.rank, ev.args.get("peer"))] = ev.ts
+            pending[(ev.args.get("job"), ev.rank, ev.args.get("peer"))] = ev.ts
         elif ev.name == "overlay.suspect.cleared":
-            pending.pop((ev.rank, ev.args.get("peer")), None)
+            pending.pop(
+                (ev.args.get("job"), ev.rank, ev.args.get("peer")), None
+            )
     return [
         Violation(
             "suspicion-resolved",
-            f"rank {rank}'s suspicion of rank {peer} (raised t={ts:.6g}) "
-            f"was never resolved",
+            f"job {jid} rank {rank}'s suspicion of rank {peer} "
+            f"(raised t={ts:.6g}) was never resolved",
         )
-        for (rank, peer), ts in pending.items()
+        for (jid, rank, peer), ts in pending.items()
     ]
 
 
@@ -395,6 +412,80 @@ def check_link_accounting(job) -> List[Violation]:
             f"suppressed {transport.dup_dropped} duplicate(s) but the "
             f"fault model only injected {transport.omission_dups}",
         ))
+    return out
+
+
+# --------------------------------------------------------- tenant isolation
+def check_tenant_isolation(tracer, jobs) -> List[Violation]:
+    """One tenant's failure stays that tenant's problem.
+
+    Multi-tenant runs only (``jobs`` is every co-resident job).  Kills
+    injected through :class:`~repro.chaos.scenario.KillTenantSlot` tag
+    their ``chaos.inject`` record with the victim's ``job_id``; from
+    that tag and the per-tenant ``job`` labels on the recovery streams,
+    three teeth:
+
+    * a *bystander* (tenant never targeted) must end with epoch 0 --
+      zero ``recovery.begin``, zero ``fmi.notify``, zero detector
+      ``overlay.notified`` events carry its id (no cross-tenant epoch
+      bumps, no detector split-brain);
+    * every *targeted* tenant opened at least one recovery epoch of its
+      own (it recovered independently rather than riding another
+      tenant's recovery);
+    * no tenant opens more recovery epochs than kills aimed at it
+      (allocations are node-exclusive, so a neighbour's dead node can
+      never be mistaken for ours).
+    """
+    kills: Dict[str, int] = {}
+    recoveries: Dict[str, int] = {}
+    notified: Dict[str, int] = {}
+    max_epoch: Dict[str, int] = {}
+    for ev in tracer.events:
+        jid = ev.args.get("job")
+        if ev.name == "chaos.inject":
+            action = ev.args.get("action", "")
+            if (jid is not None and action.startswith("kill tenant")
+                    and "already dead" not in action):
+                kills[jid] = kills.get(jid, 0) + 1
+        elif ev.name == "recovery.begin" and jid is not None:
+            recoveries[jid] = recoveries.get(jid, 0) + 1
+        elif ev.name == "overlay.notified" and jid is not None:
+            notified[jid] = notified.get(jid, 0) + 1
+        elif ev.name in ("fmi.state", "fmi.notify") and jid is not None:
+            max_epoch[jid] = max(max_epoch.get(jid, 0), ev.epoch)
+    out: List[Violation] = []
+    for job in jobs:
+        jid = job.job_id
+        if kills.get(jid, 0) == 0:
+            for what, count in [
+                ("recovery epoch(s)", recoveries.get(jid, 0)),
+                ("detector notification(s)", notified.get(jid, 0)),
+            ]:
+                if count:
+                    out.append(Violation(
+                        "tenant-isolation",
+                        f"bystander {jid} saw {count} {what} although no "
+                        f"kill targeted it",
+                    ))
+            if max_epoch.get(jid, 0) > 0:
+                out.append(Violation(
+                    "tenant-isolation",
+                    f"bystander {jid} reached epoch {max_epoch[jid]} "
+                    f"although no kill targeted it",
+                ))
+        else:
+            if recoveries.get(jid, 0) == 0:
+                out.append(Violation(
+                    "tenant-isolation",
+                    f"{jid} was targeted by {kills[jid]} kill(s) but never "
+                    f"opened a recovery epoch of its own",
+                ))
+            if recoveries.get(jid, 0) > kills[jid]:
+                out.append(Violation(
+                    "tenant-isolation",
+                    f"{jid} opened {recoveries[jid]} recovery epoch(s) for "
+                    f"only {kills[jid]} kill(s) aimed at it",
+                ))
     return out
 
 
@@ -427,9 +518,13 @@ def check_all(
     results: Optional[Sequence],
     reference: Optional[Sequence],
     monitor: Optional[DetectorMonitor] = None,
+    jobs: Optional[Sequence] = None,
 ) -> List[Violation]:
     """Run every checker; ``results=None`` means the job never finished
-    (already reported by the runner as its own violation)."""
+    (already reported by the runner as its own violation).  ``jobs``
+    lists every co-resident tenant on a shared cluster -- passing it
+    turns on the tenant-isolation invariant (single-tenant runs omit
+    it)."""
     out: List[Violation] = []
     out += check_epoch_monotone(tracer)
     out += check_no_stale_delivery(tracer)
@@ -443,4 +538,6 @@ def check_all(
         out += check_detector_bounded(job, monitor)
     if results is not None and reference is not None:
         out += check_answer(results, reference)
+    if jobs is not None:
+        out += check_tenant_isolation(tracer, jobs)
     return out

@@ -20,7 +20,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.chaos.campaigns import CAMPAIGNS, Campaign
-from repro.chaos.invariants import DetectorMonitor, Violation, check_all
+from repro.chaos.invariants import (
+    DetectorMonitor,
+    Violation,
+    check_all,
+    check_answer,
+    check_detector_bounded,
+    check_link_accounting,
+    check_posted_receives,
+)
 from repro.chaos.scenario import ChaosEngine, Scenario
 from repro.cluster import Machine
 from repro.cluster.spec import SIERRA
@@ -29,6 +37,7 @@ from repro.fmi import FmiJob
 from repro.obs import MetricsRegistry, Tracer
 from repro.simt import Simulator
 from repro.simt.kernel import SimulationError
+from repro.simt.primitives import AllOf
 from repro.simt.rng import RngRegistry
 
 __all__ = ["RunResult", "run_campaign", "soak", "MAX_EVENTS"]
@@ -108,6 +117,8 @@ def run_campaign(
     """One deterministic chaos run + full invariant check."""
     campaign = _resolve(campaign)
     reference = reference_results(campaign)
+    if campaign.tenants > 1:
+        return _run_multi_tenant(campaign, seed, reference, keep_trace)
 
     sim, machine, job = _build_job(campaign, seed)
     tracer = Tracer(sim)
@@ -149,6 +160,93 @@ def run_campaign(
         omission_drops=job.transport.omission_drops,
         omission_dups=job.transport.omission_dups,
         dup_dropped=job.transport.dup_dropped,
+        tracer=tracer if keep_trace else None,
+    )
+
+
+def _run_multi_tenant(
+    campaign: Campaign, seed: int, reference: list, keep_trace: bool
+) -> RunResult:
+    """Service mode: ``campaign.tenants`` identical FMI jobs share one
+    machine, each on its own allocation from the shared resource
+    manager.  Kills are aimed at specific tenants
+    (:class:`~repro.chaos.scenario.KillTenantSlot`), the trace-level
+    invariants run once over the merged trace (keyed by ``job`` label),
+    the per-job state invariants and the bit-equality check run per
+    tenant, and the ``tenant-isolation`` invariant ties them together.
+    """
+    sim = Simulator()
+    machine = Machine(
+        sim, SIERRA.with_nodes(campaign.total_nodes), RngRegistry(seed)
+    )
+    tracer = Tracer(sim)
+    MetricsRegistry(sim)
+    jobs = [
+        FmiJob(
+            machine,
+            bsp_app(campaign.iterations, campaign.work_s, campaign.halo_bytes),
+            num_ranks=campaign.num_ranks,
+            procs_per_node=campaign.ppn,
+            config=campaign.make_config(),
+            name=f"t{t}",
+        )
+        for t in range(campaign.tenants)
+    ]
+    rng = machine.rng.stream("chaos")
+    scenario = Scenario(campaign.name, campaign.rules(rng, campaign))
+    engine = ChaosEngine(jobs[0], rng, jobs=jobs)
+    monitors = [DetectorMonitor(job) for job in jobs]
+
+    all_done = AllOf(sim, [job.launch() for job in jobs])
+    engine.arm(scenario)
+    for monitor in monitors:
+        monitor.start()
+
+    violations: List[Violation] = []
+    results_list: Optional[list] = None
+    try:
+        results_list = sim.run(until=all_done, max_events=MAX_EVENTS)
+    except SimulationError as exc:
+        violations.append(Violation("liveness", str(exc)))
+    except Exception as exc:  # some tenant aborted (FmiAbort, ...)
+        violations.append(Violation("liveness", f"job failed: {exc!r}"))
+    engine.disarm()
+    for monitor in monitors:
+        monitor.sample()
+
+    # Trace-level checkers once (keyed by job label), state checkers and
+    # the answer per tenant, tenant-isolation across all of them.
+    violations += check_all(
+        jobs[0], tracer,
+        results_list[0] if results_list is not None else None,
+        reference, monitors[0], jobs=jobs,
+    )
+    for idx in range(1, len(jobs)):
+        job, monitor = jobs[idx], monitors[idx]
+        violations += check_posted_receives(job)
+        violations += check_link_accounting(job)
+        violations += check_detector_bounded(job, monitor)
+        if results_list is not None:
+            violations += [
+                Violation(v.invariant, f"{job.job_id}: {v.detail}")
+                for v in check_answer(results_list[idx], reference)
+            ]
+    return RunResult(
+        campaign=campaign.name,
+        seed=seed,
+        violations=violations,
+        recoveries=sum(j.epoch for j in jobs),
+        injected=list(engine.injected),
+        sim_time=sim.now,
+        trace_events=len(tracer.events),
+        stale_dropped=sum(j.transport.dropped_stale for j in jobs),
+        false_suspicions=sum(j.detector.false_suspicions for j in jobs),
+        repaired_edges=sum(j.detector.repaired_edges for j in jobs),
+        partition_stalls=sum(j.transport.partition_stalls for j in jobs),
+        partition_retries=sum(j.transport.partition_retries for j in jobs),
+        omission_drops=sum(j.transport.omission_drops for j in jobs),
+        omission_dups=sum(j.transport.omission_dups for j in jobs),
+        dup_dropped=sum(j.transport.dup_dropped for j in jobs),
         tracer=tracer if keep_trace else None,
     )
 

@@ -46,6 +46,7 @@ from repro.net.faults import LinkFaultModel
 __all__ = [
     "AtTime", "OnEvent", "RandomTimes",
     "KillSlot", "KillRandomSlot", "KillNode", "KillRank", "DrainSlot",
+    "KillTenantSlot",
     "Partition", "HealPartition", "Omission", "OmissionOff",
     "LimpSlot", "UnlimpSlot",
     "Rule", "Scenario", "ChaosEngine",
@@ -119,6 +120,18 @@ class DrainSlot:
 
 
 @dataclass(frozen=True)
+class KillTenantSlot:
+    """Crash the node currently holding slot ``slot`` of the
+    ``tenant``-th job (multi-tenant engines only).  The record and the
+    ``chaos.inject`` trace event carry the victim's ``job_id``, so the
+    tenant-isolation invariant can tell targeted tenants from
+    bystanders."""
+
+    tenant: int
+    slot: int
+
+
+@dataclass(frozen=True)
 class Partition:
     """Split the fabric into components of job *slots*.
 
@@ -187,7 +200,7 @@ class UnlimpSlot:
 
 
 Action = Union[
-    KillSlot, KillRandomSlot, KillNode, KillRank, DrainSlot,
+    KillSlot, KillRandomSlot, KillNode, KillRank, DrainSlot, KillTenantSlot,
     Partition, HealPartition, Omission, OmissionOff, LimpSlot, UnlimpSlot,
 ]
 
@@ -217,8 +230,11 @@ class ChaosEngine:
     a failing seed.
     """
 
-    def __init__(self, job, rng=None):
+    def __init__(self, job, rng=None, jobs=None):
         self.job = job
+        #: every tenant the engine may target; single-tenant runs have
+        #: exactly ``[job]`` here
+        self.jobs = list(jobs) if jobs is not None else [job]
         self.sim = job.sim
         self.rng = rng
         self.injected: List[Tuple[float, str]] = []
@@ -230,9 +246,11 @@ class ChaosEngine:
         # Chaos actions fire at arbitrary points; every collective in a
         # chaos run keeps per-hop fidelity (campaigns also always trace,
         # but the veto holds even for forced-macro experiment modes).
-        transport = getattr(self.job, "transport", None)
-        if transport is not None and not self._macro_blocked:
-            transport.block_macro()
+        if not self._macro_blocked:
+            for job in self.jobs:
+                transport = getattr(job, "transport", None)
+                if transport is not None:
+                    transport.block_macro()
             self._macro_blocked = True
         for rule in scenario.rules:
             self._arm_rule(rule)
@@ -274,16 +292,44 @@ class ChaosEngine:
         self._injectors.clear()
         if self._macro_blocked:
             self._macro_blocked = False
-            self.job.transport.unblock_macro()
+            for job in self.jobs:
+                job.transport.unblock_macro()
 
     # -- firing -----------------------------------------------------------
-    def _record(self, desc: str) -> None:
+    def _record(self, desc: str, job_id=None) -> None:
         self.injected.append((self.sim.now, desc))
         if self.sim.tracer.enabled:
-            self.sim.tracer.instant("chaos.inject", "failure", action=desc)
+            if job_id is None:
+                self.sim.tracer.instant("chaos.inject", "failure", action=desc)
+            else:
+                self.sim.tracer.instant(
+                    "chaos.inject", "failure", action=desc, job=job_id
+                )
 
     def _fire(self, action: Action) -> None:
         job = self.job
+        if isinstance(action, KillTenantSlot):
+            # Tenant-scoped: only the *target* job finishing disables
+            # the action -- the engine's primary job may already be done
+            # while other tenants still run.
+            victim_job = self.jobs[action.tenant]
+            if victim_job.finished:
+                return
+            node = victim_job.fmirun.node_slots[action.slot]
+            if not node.alive:
+                self._record(
+                    f"kill tenant {action.tenant} slot {action.slot}: "
+                    f"already dead",
+                    job_id=victim_job.job_id,
+                )
+                return
+            self._record(
+                f"kill tenant {action.tenant} slot {action.slot} "
+                f"(node {node.id})",
+                job_id=victim_job.job_id,
+            )
+            node.crash(f"chaos: tenant {action.tenant} slot {action.slot}")
+            return
         if job.finished:
             return
         if isinstance(action, KillRandomSlot):

@@ -59,6 +59,14 @@ class Machine:
         """Subscribe to node-crash notifications (endpoint manager etc.)."""
         self._death_listeners.append(callback)
 
+    def remove_death_listener(self, callback: Callable[[Node, Any], None]) -> None:
+        """Unsubscribe (job teardown: tenants come and go, the machine
+        stays).  Unknown callbacks are ignored."""
+        try:
+            self._death_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def _node_crashed(self, node: Node, cause: Any) -> None:
         self.rm.node_failed(node)
         for listener in list(self._death_listeners):

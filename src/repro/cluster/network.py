@@ -68,6 +68,22 @@ class Fabric:
         """Subscribe ``callback(tag)`` to partition heals."""
         self._heal_listeners.append(callback)
 
+    def remove_partition_listener(
+        self, callback: Callable[[str, Dict[int, int]], None]
+    ) -> None:
+        """Unsubscribe from cuts (job teardown); unknown callbacks ignored."""
+        try:
+            self._partition_listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def remove_heal_listener(self, callback: Callable[[str], None]) -> None:
+        """Unsubscribe from heals (job teardown); unknown callbacks ignored."""
+        try:
+            self._heal_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def partition(self, groups: Iterable[Iterable[int]], tag: str = "") -> str:
         """Split the fabric into components; returns the partition tag.
 

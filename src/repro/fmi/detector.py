@@ -63,6 +63,15 @@ class LogRingDetector:
         job.machine.on_node_death(self._on_node_death)
         job.machine.fabric.on_heal(self._on_partition_heal)
 
+    def detach(self) -> None:
+        """Unhook this job's detector from the machine (job teardown).
+        Tenants come and go on a shared cluster; a finished job's
+        detector must stop hearing node deaths entirely rather than
+        early-returning forever."""
+        self.job.machine.remove_death_listener(self._on_node_death)
+        self.job.machine.fabric.remove_heal_listener(self._on_partition_heal)
+        self.cm.detach()
+
     # -- membership -----------------------------------------------------------
     def connections_per_rank(self, n: int) -> int:
         return len(logring_neighbors(0, n, self.k))
@@ -133,7 +142,7 @@ class LogRingDetector:
             sim.tracer.instant(
                 "overlay.join", "overlay", rank=rank, node=fproc.node.id,
                 incarnation=fproc.incarnation, epoch=epoch,
-                edges=len(self._conns[rank]),
+                edges=len(self._conns[rank]), job=self.job.job_id,
             )
 
     def leave(self, rank: int) -> None:
@@ -215,6 +224,7 @@ class LogRingDetector:
                     "overlay.notified", "overlay", rank=rank,
                     node=fproc.node.id, incarnation=fproc.incarnation,
                     epoch=generation, hop=hop, reason=reason,
+                    job=self.job.job_id,
                 )
             if sim.metrics.enabled:
                 sim.metrics.histogram("overlay.notify_hops").observe(hop)
@@ -233,7 +243,7 @@ class LogRingDetector:
         if sim.tracer.enabled:
             sim.tracer.instant(
                 "overlay.suspect", "overlay", rank=rank,
-                peer=peer_rank, reason=reason,
+                peer=peer_rank, reason=reason, job=self.job.job_id,
             )
         timer = sim.timeout(self.suspicion_grace)
         timer.callbacks.append(
@@ -261,12 +271,14 @@ class LogRingDetector:
                 sim.tracer.instant(
                     "overlay.suspect.cleared", "overlay", rank=rank,
                     peer=peer_rank, resolution="peer-alive",
+                    job=self.job.job_id,
                 )
             return
         if sim.tracer.enabled:
             sim.tracer.instant(
                 "overlay.suspect.cleared", "overlay", rank=rank,
                 peer=peer_rank, resolution="confirmed-dead",
+                job=self.job.job_id,
             )
         self._escalate(rank, epoch, f"confirmed:{reason}")
 
@@ -281,6 +293,7 @@ class LogRingDetector:
                 sim.tracer.instant(
                     "overlay.suspect.cleared", "overlay", rank=pair[0],
                     peer=pair[1], resolution=resolution,
+                    job=self.job.job_id,
                 )
 
     # -- partition heal: rejoin the overlay -----------------------------------
@@ -342,5 +355,5 @@ class LogRingDetector:
                 if sim.tracer.enabled:
                     sim.tracer.instant(
                         "overlay.repair", "overlay", rank=rank,
-                        epoch=epoch, peer=peer,
+                        epoch=epoch, peer=peer, job=self.job.job_id,
                     )

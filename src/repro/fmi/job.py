@@ -46,12 +46,15 @@ class FmiJob(JobBase):
         procs_per_node: int = 1,
         config: Optional[FmiConfig] = None,
         name: str = "fmi",
+        alloc=None,
+        job_id: Optional[str] = None,
     ):
         self.config = config or FmiConfig()
         super().__init__(
             machine, app, num_ranks, procs_per_node,
             policy=Fmirun(), name=name,
             sw_overhead=machine.spec.network.sw_overhead_fmi,
+            alloc=alloc, job_id=job_id,
         )
         self.fmirun: Fmirun = self.policy  # the runtime's public name
         group = min(self.config.xor_group_size, self.num_nodes)
@@ -188,12 +191,13 @@ class FmiJob(JobBase):
                     cause=self.recovery_causes[epoch - 1][1] if (
                         epoch - 1 < len(self.recovery_causes)
                     ) else "",
+                    job=self.job_id,
                 )
             if self.sim.metrics.enabled and epoch > 0:
                 latency = self.recovery_latency(epoch)
                 if latency is not None:
                     self.sim.metrics.histogram(
-                        "fmi.recovery_latency_s"
+                        "fmi.recovery_latency_s", job=self.job_id
                     ).observe(latency)
 
     def make_api(self, fproc: FmiProcess) -> FmiContext:
@@ -201,6 +205,10 @@ class FmiJob(JobBase):
 
     def _on_rank_finished(self, rank: int) -> None:
         self.detector.leave(rank)
+
+    def _detach(self) -> None:
+        super()._detach()
+        self.detector.detach()
 
     # -- observability ---------------------------------------------------------------
     @property

@@ -107,6 +107,7 @@ class FmiProcess(RankProcess):
                     "fmi.notify", "recovery", rank=self.rank,
                     node=self.node.id, incarnation=self.incarnation,
                     epoch=generation, reason=reason, absorbed=True,
+                    job=self.job.job_id,
                 )
             return
         self.notified_gen = generation
@@ -115,6 +116,7 @@ class FmiProcess(RankProcess):
             self.sim.tracer.instant(
                 "fmi.notify", "recovery", rank=self.rank, node=self.node.id,
                 incarnation=self.incarnation, epoch=generation, reason=reason,
+                job=self.job.job_id,
             )
         self.proc.interrupt(FailureNotified(generation, reason))
 
@@ -128,7 +130,7 @@ class FmiProcess(RankProcess):
             self.sim.tracer.instant(
                 "fmi.state", "state", rank=self.rank, node=self.node.id,
                 incarnation=self.incarnation, epoch=self.job.epoch,
-                state=state.value,
+                state=state.value, job=self.job.job_id,
             )
 
     def _main(self):

@@ -10,6 +10,8 @@
   under scaled failure rates and level-2 costs.
 * :mod:`~repro.models.msglog_model` -- the message-logging plane: log
   volume, replay latency, and the partial-vs-global crossover.
+* :mod:`~repro.models.queueing` -- M/G/c capacity model for the
+  service-mode job-stream scheduler (wait times, goodput).
 """
 
 from repro.models.availability import prob_continuous_run, run_probability_curve
@@ -23,11 +25,23 @@ from repro.models.msglog_model import (
     replay_crossover_bytes,
     replay_latency,
 )
+from repro.models.queueing import (
+    CapacityEstimate,
+    erlang_c,
+    estimate_capacity,
+    mgc_mean_wait,
+    mmc_mean_wait,
+)
 from repro.models.vaidya import expected_runtime_factor, optimal_interval
 
 __all__ = [
+    "CapacityEstimate",
     "checkpoint_time",
+    "erlang_c",
+    "estimate_capacity",
     "expected_runtime_factor",
+    "mgc_mean_wait",
+    "mmc_mean_wait",
     "global_recovery_latency",
     "log_volume",
     "multilevel_efficiency",

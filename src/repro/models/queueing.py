@@ -1,0 +1,182 @@
+"""M/G/c-style queueing model for service-mode capacity planning.
+
+The scheduler admits a stream of jobs onto a cluster of ``N`` nodes;
+with (roughly) homogeneous jobs of ``k`` nodes each the cluster behaves
+like a ``c = N // k`` server queue.  This module prices that queue:
+
+* :func:`erlang_c` -- the M/M/c probability an arrival has to wait.
+* :func:`mmc_mean_wait` -- exact M/M/c mean queue wait.
+* :func:`mgc_mean_wait` -- the Allen-Cunneen approximation for general
+  service-time distributions (scales the M/M/c wait by ``(1+scv)/2``).
+* :func:`effective_service_time` -- stretches a job's failure-free
+  runtime by Vaidya's expected-runtime factor, so the failure rate and
+  recovery scheme enter the queueing model through the service time.
+* :func:`estimate_capacity` -- the one-call planner behind
+  ``examples/capacity_planner.py`` and ``benchmarks/bench_sched_capacity``.
+
+All waits are *queue* waits (time from submission to nodes granted),
+matching the scheduler's ``sched.wait_s`` metric.  The model assumes
+FCFS and no backfill; backfill only lowers waits, so the model is an
+upper bound at moderate utilization and tight at low utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.vaidya import expected_runtime_factor
+
+__all__ = [
+    "erlang_c",
+    "mmc_mean_wait",
+    "mgc_mean_wait",
+    "effective_service_time",
+    "CapacityEstimate",
+    "estimate_capacity",
+]
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """M/M/c probability that an arriving job must queue (Erlang C).
+
+    ``offered_load`` is ``lambda / mu`` in units of servers (erlangs).
+    Returns 1.0 at or beyond saturation (``offered_load >= c``).
+    """
+    if c < 1:
+        raise ValueError("need at least one server")
+    if offered_load < 0:
+        raise ValueError("offered_load must be >= 0")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= c:
+        return 1.0
+    # Stable recurrence on the Erlang-B blocking probability.
+    b = 1.0
+    for k in range(1, c + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / c
+    return b / (1.0 - rho + rho * b)
+
+
+def mmc_mean_wait(arrival_rate: float, service_mean: float, c: int) -> float:
+    """Exact M/M/c mean queue wait; ``inf`` at or past saturation."""
+    if arrival_rate < 0 or service_mean <= 0:
+        raise ValueError("arrival_rate must be >= 0, service_mean > 0")
+    a = arrival_rate * service_mean
+    if a >= c:
+        return math.inf
+    pw = erlang_c(c, a)
+    return pw * service_mean / (c - a)
+
+
+def mgc_mean_wait(
+    arrival_rate: float, service_mean: float, c: int, service_scv: float = 1.0
+) -> float:
+    """Allen-Cunneen M/G/c mean queue wait.
+
+    ``service_scv`` is the squared coefficient of variation of the
+    service time (variance / mean^2); 1.0 recovers M/M/c, 0.0 halves
+    the wait (deterministic service), heavy-tailed runtimes push it up.
+    """
+    if service_scv < 0:
+        raise ValueError("service_scv must be >= 0")
+    return mmc_mean_wait(arrival_rate, service_mean, c) * (1.0 + service_scv) / 2.0
+
+
+def effective_service_time(
+    ideal_runtime: float,
+    mtbf: Optional[float],
+    interval: float,
+    ckpt_cost: float,
+    restart_cost: float = 0.0,
+) -> float:
+    """A job's expected wall runtime under failures.
+
+    Stretches the failure-free runtime by Vaidya's expected-runtime
+    factor for the given checkpoint interval and per-node-scaled MTBF;
+    ``mtbf=None`` means no failures (the factor still charges the
+    checkpoint overhead when ``ckpt_cost > 0``).
+    """
+    if ideal_runtime <= 0:
+        raise ValueError("ideal_runtime must be positive")
+    if mtbf is None:
+        if interval <= 0:
+            return ideal_runtime
+        return ideal_runtime * (1.0 + ckpt_cost / interval)
+    factor = expected_runtime_factor(interval, ckpt_cost, mtbf, restart_cost)
+    return ideal_runtime * factor
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """The analytic answer to "what happens at this operating point?"."""
+
+    #: concurrent job slots the cluster offers (N // nodes_per_job)
+    servers: int
+    #: lambda * E[S] / c -- fraction of slot capacity in use
+    utilization: float
+    #: probability an arriving job queues (Erlang C)
+    prob_wait: float
+    #: mean queue wait, seconds (Allen-Cunneen)
+    mean_wait: float
+    #: approximate 99th-percentile queue wait, seconds
+    p99_wait: float
+    #: expected wall runtime of one job under the failure model
+    service_time: float
+    #: useful compute seconds per wall second of service (<= 1.0)
+    goodput: float
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean submission-to-completion time."""
+        return self.mean_wait + self.service_time
+
+
+def estimate_capacity(
+    num_nodes: int,
+    nodes_per_job: int,
+    arrival_rate: float,
+    ideal_runtime: float,
+    mtbf: Optional[float] = None,
+    interval: float = 1.0,
+    ckpt_cost: float = 0.0,
+    restart_cost: float = 0.0,
+    service_scv: float = 1.0,
+) -> CapacityEstimate:
+    """Price an operating point of the service-mode scheduler.
+
+    ``mtbf`` is the *per-job* mean time between failures (a machine
+    MTBF divided by the job's share of the nodes); the failure rate and
+    recovery cost enter the queue through the stretched service time,
+    which is how goodput degrades gracefully rather than cliffing.
+    """
+    if num_nodes < nodes_per_job:
+        raise ValueError("cluster smaller than one job")
+    c = num_nodes // nodes_per_job
+    service = effective_service_time(
+        ideal_runtime, mtbf, interval, ckpt_cost, restart_cost
+    )
+    a = arrival_rate * service
+    rho = a / c
+    pw = erlang_c(c, a)
+    mean_wait = mgc_mean_wait(arrival_rate, service, c, service_scv)
+    # Conditional M/M/c wait is exponential with rate (c - a)/E[S];
+    # scale its mean by the Allen-Cunneen factor for the p99 tail.
+    if rho >= 1.0 or mean_wait == math.inf:
+        p99 = math.inf
+    elif pw <= 0.01:
+        p99 = 0.0
+    else:
+        tail_mean = service / (c - a) * (1.0 + service_scv) / 2.0
+        p99 = tail_mean * math.log(pw / 0.01)
+    return CapacityEstimate(
+        servers=c,
+        utilization=rho,
+        prob_wait=pw,
+        mean_wait=mean_wait,
+        p99_wait=max(p99, 0.0),
+        service_time=service,
+        goodput=ideal_runtime / service,
+    )

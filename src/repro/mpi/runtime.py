@@ -67,12 +67,15 @@ class MpiJob(JobBase):
         nodes: Optional[List[Node]] = None,
         charge_init: bool = True,
         name: str = "mpi",
+        alloc=None,
+        job_id: Optional[str] = None,
     ):
         super().__init__(
             machine, app, nprocs, procs_per_node,
             policy=FailStop(nodes=nodes, charge_init=charge_init),
             name=name,
             sw_overhead=machine.spec.network.sw_overhead_mpi,
+            alloc=alloc, job_id=job_id,
         )
 
     # -- compatibility aliases ------------------------------------------------
@@ -132,9 +135,11 @@ class MpiRestartDriver:
         try:
             while True:
                 # Replace dead nodes, keeping slot positions stable.
+                # grow() keeps the replacements owned by the allocation
+                # so the final release returns them to the pool.
                 for i, node in enumerate(nodes):
                     if not node.alive:
-                        nodes[i] = yield self.machine.rm.request_replacement()
+                        nodes[i] = yield alloc.grow()
                 job = MpiJob(
                     self.machine, self.app, self.nprocs, self.ppn,
                     nodes=nodes, name=f"{self.name}#{self.restarts}",

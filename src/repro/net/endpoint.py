@@ -122,6 +122,12 @@ class ConnectionManager:
         machine.on_node_death(self._on_node_death)
         machine.fabric.on_partition(self._on_partition)
 
+    def detach(self) -> None:
+        """Unhook from the machine at job teardown (the machine outlives
+        any one tenant's connection manager)."""
+        self.machine.remove_death_listener(self._on_node_death)
+        self.machine.fabric.remove_partition_listener(self._on_partition)
+
     # -- establishment ----------------------------------------------------
     def connect(self, key_a: Any, node_a: Node, key_b: Any, node_b: Node) -> Connection:
         """Create a connection (instantaneous bookkeeping; callers charge

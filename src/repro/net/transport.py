@@ -151,6 +151,11 @@ class Transport:
         self.macro_blockers = 0
         machine.fabric.on_heal(self._on_heal)
 
+    def detach(self) -> None:
+        """Unhook from the (long-lived) fabric at job teardown so a
+        stream of tenant jobs does not accumulate dead heal listeners."""
+        self.machine.fabric.remove_heal_listener(self._on_heal)
+
     # -- macro-event eligibility ---------------------------------------------
     def block_macro(self) -> None:
         """Veto the macro-event collective fast path (stackable)."""

@@ -118,6 +118,8 @@ class JobBase:
         policy,
         name: str,
         sw_overhead: Optional[float] = None,
+        alloc=None,
+        job_id: Optional[str] = None,
     ):
         if num_ranks < 1 or procs_per_node < 1:
             raise ValueError("num_ranks and procs_per_node must be >= 1")
@@ -130,6 +132,12 @@ class JobBase:
         self.ppn = procs_per_node
         self.num_nodes = num_ranks // procs_per_node
         self.name = name
+        #: externally owned allocation (service mode: the scheduler
+        #: grants nodes and hands the job a ready allocation); None =
+        #: the policy allocates for itself at bind/start
+        self.alloc = alloc
+        #: tenant label on every metric/trace record this job emits
+        self.job_id = job_id if job_id is not None else name
         self.transport = Transport(machine, sw_overhead=sw_overhead)
 
         # -- shared runtime state --
@@ -139,6 +147,11 @@ class JobBase:
         self.finished_ranks: Set[int] = set()
         self.results: Dict[int, Any] = {}
         self.done: Event = self.sim.event()
+        # Jobs come and go on a long-lived machine: drop the machine-
+        # level subscriptions (transport heal hook, and whatever
+        # subclasses add via _detach) once the job is over, so a stream
+        # of tenants does not accumulate dead listeners.
+        self.done.callbacks.append(lambda _e: self._detach())
         self.launched_at: Optional[float] = None
         #: simulated time init (MPI_Init / FMI's first H2 exit) completed
         self.init_done_at: Optional[float] = None
@@ -225,6 +238,12 @@ class JobBase:
             rproc.kill(cause="job-abort")
         self.policy.shutdown()
         self.done.fail(self.policy.wrap_abort(cause))
+
+    def _detach(self) -> None:
+        """Unhook this job's machine-level listeners (job teardown).
+        Subclasses extend this with their own subscriptions (FMI's
+        failure detector and connection manager)."""
+        self.transport.detach()
 
     # -- observability -------------------------------------------------------
     @property

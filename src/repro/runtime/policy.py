@@ -156,21 +156,34 @@ class FailStop(FaultPolicy):
         self.nodes = nodes
         self.charge_init = charge_init
         self.alloc = None
+        # True only for the srun-style self-allocation: an externally
+        # owned allocation (service mode) is never released on a failed
+        # bind -- its owner decides.
+        self._owns_alloc = False
 
     def bind(self, job: JobBase) -> None:
         super().bind(job)
         nodes = self.nodes
-        if nodes is None:
+        if nodes is None and job.alloc is not None:
+            # Service mode: the scheduler granted the allocation; the
+            # job runs on it and releases it when done (the scheduler
+            # watches the idle pool, not the allocation object).
+            self.alloc = job.alloc
+            nodes = self.alloc.nodes
+        elif nodes is None:
             # srun-style: the allocation is grabbed when the job object
             # is created, released when the job event triggers.
             self.alloc = job.machine.rm.allocate(job.num_nodes)
             nodes = self.alloc.nodes
+            self._owns_alloc = True
         if len(nodes) < job.num_nodes:
             # A failed bind must not keep holding nodes: release any
-            # srun-style allocation before propagating the error.
-            if self.alloc is not None:
+            # srun-style allocation before propagating the error.  An
+            # externally owned allocation stays with its owner.
+            if self._owns_alloc and self.alloc is not None:
                 self.alloc.release()
                 self.alloc = None
+                self._owns_alloc = False
             raise ValueError("not enough nodes for the requested ranks")
         self.nodes = nodes[: job.num_nodes]
         job.nodes = self.nodes
@@ -260,10 +273,20 @@ class Survivable(FaultPolicy):
     # -- launch --------------------------------------------------------------
     def start(self) -> None:
         job = self.job
-        self.alloc = self.machine.rm.allocate(
-            job.num_nodes * self.num_copies, num_spares=self.num_spares
-        )
-        self.node_slots = list(self.alloc.nodes)
+        need = job.num_nodes * self.num_copies
+        if job.alloc is not None:
+            # Service mode: run on the scheduler-granted allocation.
+            if len(job.alloc.nodes) < need:
+                raise ValueError(
+                    f"allocation has {len(job.alloc.nodes)} compute nodes, "
+                    f"job needs {need}"
+                )
+            self.alloc = job.alloc
+        else:
+            self.alloc = self.machine.rm.allocate(
+                need, num_spares=self.num_spares
+            )
+        self.node_slots = list(self.alloc.nodes[:need])
         for slot, node in enumerate(self.node_slots):
             self._start_task(slot, node, incarnation=0)
 
@@ -313,11 +336,11 @@ class Survivable(FaultPolicy):
         if self.sim.tracer.enabled:
             self.sim.tracer.instant(
                 "recovery.begin", "recovery", epoch=job.epoch, cause=cause,
-                failover=failover,
+                failover=failover, job=job.job_id,
             )
         if self.sim.metrics.enabled:
-            self.sim.metrics.counter("fmi.recoveries").inc()
-            self.sim.metrics.gauge("fmi.epoch").set(job.epoch)
+            self.sim.metrics.counter("fmi.recoveries", job=job.job_id).inc()
+            self.sim.metrics.gauge("fmi.epoch", job=job.job_id).set(job.epoch)
         if self.max_recoveries is not None and job.epoch > self.max_recoveries:
             job.abort(self.abort_error(
                 f"exceeded max_recoveries={self.max_recoveries}"
@@ -414,7 +437,10 @@ class Survivable(FaultPolicy):
                     else:
                         new_node = self.alloc.take_spare()
                     if new_node is None:
-                        request = self.machine.rm.request_replacement()
+                        # On-demand tier: the allocation's grow() seam
+                        # (shared spare pool first when the scheduler
+                        # attached one, else a resource-manager grant).
+                        request = self.alloc.grow()
                         deadline = self.replacement_timeout
                         if deadline is None:
                             new_node = yield request
@@ -425,6 +451,10 @@ class Survivable(FaultPolicy):
                                 self.sim, [request, self.sim.timeout(deadline)]
                             )
                             if idx == 1:
+                                # Withdraw before aborting: a grant
+                                # racing this deadline re-enters the
+                                # pool instead of stranding.
+                                request.cancel()
                                 job.abort(self.abort_error(
                                     f"no replacement node granted within "
                                     f"{deadline}s (machine exhausted?)"
@@ -467,7 +497,10 @@ class Survivable(FaultPolicy):
                 break  # the sibling-kill path takes down the rest
         # The node is healthy; put it back in the pool once its guard
         # process is gone (the child-death path killed it synchronously).
-        self.machine.rm.return_node(node)
+        # It leaves through the allocation so release() won't reclaim it
+        # a second time (that double entry could grant one node to two
+        # tenants at once).
+        self.alloc.return_node(node)
 
     # -- teardown ---------------------------------------------------------------
     def shutdown(self) -> None:

@@ -1,0 +1,176 @@
+"""Job descriptions and arrival processes for the stream scheduler.
+
+A :class:`JobSpec` is everything the scheduler needs to admit, place,
+and price one tenant: geometry (ranks, processes per node, reserved
+spares), the recovery family (``failstop`` relaunches through the
+queue; ``global``/``logged``/``replicated`` are the FMI planes), the
+checkpoint interval, the synthetic workload parameters, and the
+runtime estimate backfill reasons about.
+
+Arrivals are either *trace-driven* (explicit ``(time, spec)`` pairs,
+e.g. replayed from a production log) or *distribution-driven*
+(:func:`poisson_arrivals` over a spec mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.apps.synthetic import bsp_app, expected_bsp_state
+from repro.fmi.config import FmiConfig
+
+__all__ = ["RECOVERY_FAMILIES", "JobSpec", "Arrival", "poisson_arrivals"]
+
+#: admissible recovery families: MPI's relaunch-through-the-queue
+#: contract plus the three FMI recovery planes
+RECOVERY_FAMILIES = ("failstop", "global", "logged", "replicated")
+
+
+@dataclass
+class JobSpec:
+    """One tenant's job description (the scheduler's admission unit)."""
+
+    name: str = "job"
+    ranks: int = 4
+    ppn: int = 1
+    #: pre-reserved spare nodes allocated with the job (FMI families)
+    spares: int = 0
+    recovery: str = "global"
+    replication_degree: int = 2
+    #: checkpoint every k-th FMI_Loop call (FMI families)
+    interval: Optional[int] = 1
+    iterations: int = 10
+    work_s: float = 0.1
+    halo_bytes: float = 1e4
+    #: preemption rank (higher may evict lower under the preempt policy)
+    priority: int = 0
+    #: user-supplied runtime estimate for backfill; None = derived
+    est_runtime: Optional[float] = None
+    #: fail-stop relaunch budget before the job is marked failed
+    max_restarts: int = 4
+    #: extra FmiConfig knobs (e.g. replacement_timeout, redundancy)
+    config_extra: Dict[str, Any] = field(default_factory=dict)
+    #: custom application factory ``spec -> app`` (default: bsp_app)
+    app_factory: Optional[Callable[["JobSpec"], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1 or self.ppn < 1:
+            raise ValueError("ranks and ppn must be >= 1")
+        if self.ranks % self.ppn != 0:
+            raise ValueError("ranks must be a multiple of ppn")
+        if self.recovery not in RECOVERY_FAMILIES:
+            raise ValueError(
+                f"unknown recovery family {self.recovery!r} "
+                f"(choose from {RECOVERY_FAMILIES})"
+            )
+        if self.spares < 0:
+            raise ValueError("spares must be >= 0")
+        if self.recovery == "failstop" and self.spares:
+            raise ValueError("failstop jobs take no spares (they requeue)")
+        if (self.recovery == "replicated"
+                and self.spares < self.replication_degree - 1):
+            raise ValueError(
+                "replicated jobs need spares >= replication_degree - 1"
+            )
+        if self.iterations < 1 or self.work_s <= 0:
+            raise ValueError("iterations >= 1 and work_s > 0 required")
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.ranks // self.ppn
+
+    @property
+    def num_copies(self) -> int:
+        return self.replication_degree if self.recovery == "replicated" else 1
+
+    @property
+    def total_nodes(self) -> int:
+        """Admission footprint: compute nodes x copies + reserved spares."""
+        return self.num_nodes * self.num_copies + self.spares
+
+    # -- runtime ------------------------------------------------------------
+    @property
+    def ideal_runtime(self) -> float:
+        """Pure compute seconds (the goodput numerator)."""
+        return self.iterations * self.work_s
+
+    @property
+    def estimated_runtime(self) -> float:
+        """The backfill estimate.  Deliberately generous (EASY relies on
+        estimates being over-, not under-shoots): twice the compute time
+        plus a constant boot/init allowance."""
+        if self.est_runtime is not None:
+            return self.est_runtime
+        return 2.0 * self.ideal_runtime + 2.0
+
+    # -- factories ----------------------------------------------------------
+    def make_app(self):
+        if self.app_factory is not None:
+            return self.app_factory(self)
+        return bsp_app(self.iterations, self.work_s, self.halo_bytes)
+
+    def make_config(self) -> Optional[FmiConfig]:
+        """The FmiConfig for this tenant; None for fail-stop jobs."""
+        if self.recovery == "failstop":
+            return None
+        return FmiConfig(
+            interval=self.interval,
+            recovery=self.recovery,
+            replication_degree=self.replication_degree,
+            spare_nodes=self.spares,
+            **self.config_extra,
+        )
+
+    def expected_results(self) -> List[Any]:
+        """Per-rank answers of the default workload (solo, failure-free
+        -- also what any run *through* failures must reproduce bitwise)."""
+        if self.app_factory is not None:
+            raise ValueError("expected_results only known for the default app")
+        return [
+            expected_bsp_state(r, self.ranks, self.iterations)
+            for r in range(self.ranks)
+        ]
+
+    def with_(self, **changes) -> "JobSpec":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One submission in a job stream."""
+
+    at: float
+    spec: JobSpec
+
+
+def poisson_arrivals(
+    specs: Sequence[JobSpec],
+    rate: float,
+    count: int,
+    rng,
+    start: float = 0.0,
+) -> List[Arrival]:
+    """A Poisson job stream: exponential inter-arrival gaps at ``rate``
+    jobs/second, cycling through the spec mix.  ``rng`` is a seeded
+    ``numpy.random.Generator`` (the machine's ``"sched"`` stream), so
+    the same seed yields the same stream -- arrivals are part of the
+    deterministic replay surface."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not specs:
+        raise ValueError("need at least one spec")
+    arrivals: List[Arrival] = []
+    t = start
+    for i in range(count):
+        t += float(rng.exponential(1.0 / rate))
+        arrivals.append(Arrival(at=t, spec=specs[i % len(specs)]))
+    return arrivals
+
+
+def trace_arrivals(pairs: Iterable) -> List[Arrival]:
+    """Normalise ``(time, spec)`` pairs into a sorted arrival list."""
+    arrivals = [Arrival(at=float(t), spec=s) for t, s in pairs]
+    arrivals.sort(key=lambda a: a.at)
+    return arrivals

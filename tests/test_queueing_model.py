@@ -1,0 +1,122 @@
+"""Unit tests for the analytic capacity model (``repro.models.queueing``).
+
+Closed-form anchors: Erlang-C limits, the M/M/1 special case, the
+Allen-Cunneen SCV correction, the Vaidya effective-service inflation,
+and the monotonicity the capacity planner leans on.
+"""
+
+import math
+
+import pytest
+
+from repro.models.queueing import (
+    effective_service_time,
+    erlang_c,
+    estimate_capacity,
+    mgc_mean_wait,
+    mmc_mean_wait,
+)
+
+
+# ----------------------------------------------------------------- erlang_c
+def test_erlang_c_zero_load():
+    assert erlang_c(4, 0.0) == 0.0
+
+
+def test_erlang_c_saturation_is_certain_wait():
+    assert erlang_c(4, 4.0) == 1.0
+    assert erlang_c(2, 7.5) == 1.0
+
+
+def test_erlang_c_single_server_is_rho():
+    # For M/M/1 the probability of waiting is exactly the utilization.
+    for rho in (0.1, 0.5, 0.9):
+        assert erlang_c(1, rho) == pytest.approx(rho)
+
+
+def test_erlang_c_monotone_in_load():
+    pws = [erlang_c(4, a) for a in (0.5, 1.0, 2.0, 3.0, 3.9)]
+    assert pws == sorted(pws)
+    assert all(0.0 <= pw <= 1.0 for pw in pws)
+
+
+# ------------------------------------------------------------ mean waits
+def test_mmc_matches_mm1_closed_form():
+    # M/M/1: W_q = rho * s / (1 - rho)
+    lam, s = 0.4, 1.5
+    rho = lam * s
+    assert mmc_mean_wait(lam, s, 1) == pytest.approx(rho * s / (1 - rho))
+
+
+def test_mmc_saturation_is_infinite():
+    assert math.isinf(mmc_mean_wait(2.0, 1.0, 2))
+    assert math.isinf(mmc_mean_wait(3.0, 1.0, 2))
+
+
+def test_mgc_scv_one_is_mmc():
+    assert mgc_mean_wait(0.7, 1.2, 2, service_scv=1.0) == pytest.approx(
+        mmc_mean_wait(0.7, 1.2, 2)
+    )
+
+
+def test_mgc_deterministic_service_halves_wait():
+    # Allen-Cunneen: scv=0 scales the exponential wait by (1+0)/2.
+    assert mgc_mean_wait(0.7, 1.2, 2, service_scv=0.0) == pytest.approx(
+        mmc_mean_wait(0.7, 1.2, 2) / 2
+    )
+
+
+# --------------------------------------------------- effective service time
+def test_effective_service_checkpoint_overhead_only():
+    # No failures: runtime stretches by exactly the checkpoint tax.
+    assert effective_service_time(
+        10.0, mtbf=None, interval=2.0, ckpt_cost=0.5
+    ) == pytest.approx(10.0 * 1.25)
+    assert effective_service_time(
+        10.0, mtbf=None, interval=0.0, ckpt_cost=0.5
+    ) == 10.0
+
+
+def test_effective_service_inflates_as_mtbf_shrinks():
+    times = [
+        effective_service_time(10.0, mtbf=m, interval=2.0, ckpt_cost=0.1,
+                               restart_cost=1.0)
+        for m in (1000.0, 100.0, 30.0)
+    ]
+    assert times == sorted(times)
+    assert times[0] >= 10.0  # never faster than the ideal run
+
+
+# --------------------------------------------------------- estimate_capacity
+def test_capacity_wait_monotone_in_arrival_rate():
+    waits = [
+        estimate_capacity(num_nodes=16, nodes_per_job=2, arrival_rate=lam,
+                          ideal_runtime=2.0).mean_wait
+        for lam in (0.5, 1.0, 2.0, 3.0, 3.9)
+    ]
+    assert waits == sorted(waits)
+
+
+def test_capacity_goodput_degrades_with_failures():
+    goodputs = [
+        estimate_capacity(num_nodes=16, nodes_per_job=2, arrival_rate=0.5,
+                          ideal_runtime=2.0, mtbf=m, interval=1.0,
+                          ckpt_cost=0.1, restart_cost=1.0).goodput
+        for m in (None, 500.0, 50.0, 10.0)
+    ]
+    assert goodputs == sorted(goodputs, reverse=True)
+
+
+def test_capacity_servers_and_utilization():
+    est = estimate_capacity(num_nodes=17, nodes_per_job=3, arrival_rate=1.0,
+                            ideal_runtime=2.0)
+    assert est.servers == 5  # floor(17 / 3)
+    assert est.utilization == pytest.approx(1.0 * est.service_time / 5)
+    assert est.mean_latency == pytest.approx(est.mean_wait + est.service_time)
+
+
+def test_capacity_p99_exceeds_mean_under_load():
+    est = estimate_capacity(num_nodes=8, nodes_per_job=2, arrival_rate=1.7,
+                            ideal_runtime=2.0)
+    assert est.prob_wait > 0.01
+    assert est.p99_wait > est.mean_wait > 0.0

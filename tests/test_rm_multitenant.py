@@ -1,0 +1,253 @@
+"""Resource-manager semantics the multi-tenant scheduler leans on.
+
+Regression suite for the grant/cancel/release races that were invisible
+while the repo ran exactly one job per cluster: a cancelled waiter must
+never strand the node that was in flight to it, a node handed back twice
+must never appear in the idle pool twice (double-grant), and every node
+a job picked up mid-flight (pre-reserved spare, on-demand grant, shared
+pool) must come back to the pool when the job's allocation is released.
+"""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.resource_manager import (
+    Allocation,
+    AllocationError,
+    ResourceManager,
+    SparePool,
+)
+from repro.cluster.spec import SIERRA
+from repro.simt import Simulator
+from repro.simt.rng import RngRegistry
+
+
+def make_machine(num_nodes=8, seed=0):
+    sim = Simulator()
+    machine = Machine(sim, SIERRA.with_nodes(num_nodes), RngRegistry(seed))
+    return sim, machine
+
+
+def no_duplicates(rm):
+    return len(rm._idle) == len(set(id(n) for n in rm._idle))
+
+
+# ------------------------------------------------------ strand regressions
+def test_cancelled_request_during_grant_does_not_strand_node():
+    # A replacement request cancelled while its grant is in flight (job
+    # aborted during the grant latency): the node must go back to the
+    # pool, not vanish.
+    sim, machine = make_machine(1)
+    rm = machine.rm
+    req = rm.request_replacement()  # pops the node, grant in flight
+    assert rm.idle_count == 0
+    req.cancel()
+    sim.run()
+    assert rm.idle_count == 1
+
+
+def test_queued_request_cancelled_during_handoff_does_not_strand_node():
+    # The node is released while a queued waiter exists; the waiter is
+    # cancelled during the handoff latency.  Pre-fix the handoff lambda
+    # called succeed() on a cancelled event (a silent no-op) and dropped
+    # the node on the floor.
+    sim, machine = make_machine(1)
+    rm = machine.rm
+    alloc = rm.allocate(1)
+    req = rm.request_replacement()  # queues: no idle node
+    alloc.release()  # handoff to req begins (grant latency)
+    req.cancel()
+    sim.run()
+    assert rm.idle_count == 1
+
+
+def test_queued_request_cancelled_before_release_is_skipped():
+    sim, machine = make_machine(1)
+    rm = machine.rm
+    alloc = rm.allocate(1)
+    req = rm.request_replacement()
+    req.cancel()
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 1
+    assert not req.triggered
+
+
+# ------------------------------------------------- double-grant regressions
+def test_double_release_is_idempotent():
+    sim, machine = make_machine(2)
+    rm = machine.rm
+    alloc = rm.allocate(2)
+    alloc.release()
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 2
+    assert no_duplicates(rm)
+
+
+def test_drained_node_not_double_pooled_at_release():
+    # A node handed back mid-job (the drain path) must not be reclaimed
+    # a second time when the allocation is released -- pre-fix it entered
+    # the idle list twice and could be granted to two jobs at once.
+    sim, machine = make_machine(3)
+    rm = machine.rm
+    alloc = rm.allocate(2)
+    drained = alloc.nodes[0]
+    alloc.return_node(drained)
+    assert rm.idle_count == 2
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 3
+    assert no_duplicates(rm)
+
+
+def test_same_instant_release_races_grant_fifo():
+    # Two waiters queued; a two-node allocation released in one instant
+    # must serve them FIFO, deterministically, with no node counted twice.
+    sim, machine = make_machine(2)
+    rm = machine.rm
+    alloc = rm.allocate(2)
+    first = rm.request_replacement()
+    second = rm.request_replacement()
+    alloc.release()
+    sim.run()
+    assert first.triggered and second.triggered
+    assert first.value is not second.value
+    assert rm.idle_count == 0
+    rm.return_node(first.value)
+    rm.return_node(second.value)
+    sim.run()
+    assert rm.idle_count == 2
+    assert no_duplicates(rm)
+
+
+# ------------------------------------------------------- ownership tracking
+def test_taken_spare_returns_to_pool_at_release():
+    # A pre-reserved spare promoted into service stays owned by the
+    # allocation: release must return it (pre-fix it was popped off the
+    # spare list and stranded forever).
+    sim, machine = make_machine(3)
+    rm = machine.rm
+    alloc = rm.allocate(2, num_spares=1)
+    spare = alloc.take_spare()
+    assert spare is not None
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 3
+    assert no_duplicates(rm)
+
+
+def test_grow_grant_owned_and_released():
+    sim, machine = make_machine(3)
+    rm = machine.rm
+    alloc = rm.allocate(2)
+    req = alloc.grow()
+    sim.run()
+    assert req.triggered
+    node = req.value
+    assert node in alloc.all_nodes
+    assert rm.idle_count == 0
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 3
+    assert no_duplicates(rm)
+
+
+def test_grow_cancelled_mid_grant_returns_node():
+    sim, machine = make_machine(3)
+    rm = machine.rm
+    alloc = rm.allocate(2)
+    req = alloc.grow()
+    req.cancel()
+    sim.run()
+    assert rm.idle_count == 1
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 3
+
+
+def test_release_withdraws_pending_grow():
+    # Job ends while an on-demand grow is still queued behind an empty
+    # pool: release must withdraw the request so a later node release
+    # does not grant to a dead job.
+    sim, machine = make_machine(2)
+    rm = machine.rm
+    a = rm.allocate(1)
+    b = rm.allocate(1)
+    req = b.grow()  # queues: no idle node
+    b.release()
+    a.release()
+    sim.run()
+    assert not req.triggered
+    assert rm.idle_count == 2
+    assert no_duplicates(rm)
+
+
+def test_grow_on_released_allocation_rejected():
+    sim, machine = make_machine(2)
+    alloc = machine.rm.allocate(1)
+    alloc.release()
+    with pytest.raises(RuntimeError):
+        alloc.grow()
+
+
+# ----------------------------------------------------------- try_allocate
+def test_try_allocate_returns_none_when_short():
+    sim, machine = make_machine(2)
+    rm = machine.rm
+    assert rm.try_allocate(3) is None
+    alloc = rm.try_allocate(2)
+    assert isinstance(alloc, Allocation)
+    assert rm.try_allocate(1) is None
+    alloc.release()
+    sim.run()
+    assert rm.try_allocate(1) is not None
+
+
+def test_allocate_still_raises():
+    sim, machine = make_machine(2)
+    with pytest.raises(AllocationError):
+        machine.rm.allocate(3)
+
+
+# ------------------------------------------------------------- spare pool
+def test_spare_pool_feeds_grow_without_rm_round_trip():
+    sim, machine = make_machine(4)
+    rm = machine.rm
+    pool = SparePool(rm, size=2)
+    assert len(pool) == 2
+    assert rm.idle_count == 2
+    alloc = rm.allocate(2)
+    alloc.spare_pool = pool
+    req = alloc.grow()
+    sim.run()
+    assert req.triggered
+    assert len(pool) == 1
+    # the pool handoff is immediate: no grant latency was charged
+    assert sim.now == 0.0
+    alloc.release()
+    sim.run()
+    # the grown node came back to the RM, not the pool
+    assert rm.idle_count == 3
+    assert len(pool) == 1
+
+
+def test_spare_pool_skips_dead_nodes_and_refills():
+    sim, machine = make_machine(4)
+    rm = machine.rm
+    pool = SparePool(rm, size=2)
+    pool._nodes[0].crash("injected")
+    assert len(pool) == 1
+    grew = pool.refill(2)
+    assert grew == 1
+    assert len(pool) == 2
+    alloc = rm.allocate(1)
+    alloc.spare_pool = pool
+    req = alloc.grow()
+    sim.run()
+    assert req.triggered and req.value.alive
+    pool.drain()
+    assert len(pool) == 0
+    alloc.release()
+    sim.run()
+    assert rm.idle_count == 3  # 4 nodes - 1 dead
